@@ -1,0 +1,79 @@
+//! Runtime cost of the delay estimators.
+//!
+//! The practical argument for the closed form inside an EDA flow: Eq. (9) is a
+//! handful of floating-point operations, the two-pole analytic model needs a
+//! root search, the exact Laplace-domain response needs dozens of complex
+//! transcendental evaluations per time point, and the transient ladder
+//! simulation needs thousands of linear solves. This bench quantifies that
+//! hierarchy on one Table-1 operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
+use rlckit_core::load::GateRlcLoad;
+use rlckit_core::model::propagation_delay;
+use rlckit_core::response::TwoPoleResponse;
+use rlckit_interconnect::twoport::DrivenLine;
+use rlckit_interconnect::DistributedLine;
+use rlckit_units::{Capacitance, Inductance, Length, Resistance, Voltage};
+
+fn operating_point() -> GateRlcLoad {
+    GateRlcLoad::new(
+        Resistance::from_ohms(1000.0),
+        Inductance::from_nanohenries(10.0),
+        Capacitance::from_picofarads(1.0),
+        Resistance::from_ohms(500.0),
+        Capacitance::from_picofarads(0.5),
+    )
+    .expect("valid operating point")
+}
+
+fn driven_line() -> DrivenLine {
+    let line = DistributedLine::from_totals(
+        Resistance::from_ohms(1000.0),
+        Inductance::from_nanohenries(10.0),
+        Capacitance::from_picofarads(1.0),
+        Length::from_millimeters(10.0),
+    )
+    .expect("valid line");
+    DrivenLine::new(line, Resistance::from_ohms(500.0), Capacitance::from_picofarads(0.5))
+        .expect("valid terminations")
+}
+
+fn ladder_spec(segments: usize) -> LadderSpec {
+    LadderSpec {
+        total_resistance: Resistance::from_ohms(1000.0),
+        total_inductance: Inductance::from_nanohenries(10.0),
+        total_capacitance: Capacitance::from_picofarads(1.0),
+        segments,
+        style: SegmentStyle::Pi,
+        driver_resistance: Resistance::from_ohms(500.0),
+        load_capacitance: Capacitance::from_picofarads(0.5),
+        supply: Voltage::from_volts(1.0),
+    }
+}
+
+fn bench_delay_estimators(c: &mut Criterion) {
+    let load = operating_point();
+    let driven = driven_line();
+
+    let mut group = c.benchmark_group("delay_estimators");
+    group.bench_function("closed_form_eq9", |b| {
+        b.iter(|| propagation_delay(black_box(&load)))
+    });
+    group.bench_function("two_pole_analytic", |b| {
+        b.iter(|| TwoPoleResponse::of(black_box(&load)).delay_50().expect("crossing"))
+    });
+    group.bench_function("exact_laplace_two_port", |b| {
+        b.iter(|| driven.delay_50().expect("crossing"))
+    });
+    group.sample_size(10);
+    group.bench_function("transient_ladder_simulation_40_segments", |b| {
+        b.iter(|| measure_step_delay(black_box(&ladder_spec(40))).expect("simulates"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_delay_estimators);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Runtime cost of repeater-insertion strategies.
+//!
+//! Closed-form sizing (Eqs. 14–15) is two square roots and two powers; the
+//! numerical optimum needs hundreds of evaluations of the total-delay
+//! objective. This is the cost an EDA flow avoids by adopting the paper's
+//! expressions, benchmarked on a strongly inductive global wire.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rlckit_interconnect::Technology;
+use rlckit_repeater::comparison::compare;
+use rlckit_repeater::design::{DesignStrategy, RepeaterDesigner};
+use rlckit_repeater::numerical::optimize;
+use rlckit_repeater::RepeaterProblem;
+use rlckit_units::Length;
+
+fn problem() -> (rlckit_interconnect::DistributedLine, Technology) {
+    let tech = Technology::quarter_micron();
+    let line = tech
+        .global_wire
+        .line(Length::from_millimeters(50.0))
+        .expect("valid line");
+    (line, tech)
+}
+
+fn bench_repeater_strategies(c: &mut Criterion) {
+    let (line, tech) = problem();
+    let problem = RepeaterProblem::for_line(&line, &tech).expect("valid problem");
+    let designer = RepeaterDesigner::new(&line, &tech);
+
+    let mut group = c.benchmark_group("repeater_insertion");
+    group.bench_function("closed_form_rlc_optimum", |b| {
+        b.iter(|| black_box(&problem).rlc_optimum())
+    });
+    group.bench_function("closed_form_rc_optimum", |b| {
+        b.iter(|| black_box(&problem).bakoglu_optimum())
+    });
+    group.bench_function("numerical_optimum", |b| {
+        b.iter(|| optimize(black_box(&problem)).expect("converges"))
+    });
+    group.bench_function("rc_vs_rlc_comparison", |b| {
+        b.iter(|| compare(black_box(&problem)).expect("comparable"))
+    });
+    group.bench_function("integer_design_rlc_strategy", |b| {
+        b.iter(|| designer.design(DesignStrategy::RlcClosedForm).expect("designs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repeater_strategies);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Cost and convergence of the transient ladder simulator.
+//!
+//! The dynamic simulator is the referee for every accuracy claim in this
+//! reproduction, so its own convergence matters: this bench measures the
+//! simulation cost as the number of lumped segments grows (the delay estimate
+//! changes by well under 1% beyond ~40 segments, see the integration tests,
+//! while the cost grows roughly cubically with the MNA dimension for the
+//! factorisation plus quadratically per step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
+use rlckit_units::{Capacitance, Inductance, Resistance, Voltage};
+
+fn spec(segments: usize) -> LadderSpec {
+    LadderSpec {
+        total_resistance: Resistance::from_ohms(500.0),
+        total_inductance: Inductance::from_nanohenries(10.0),
+        total_capacitance: Capacitance::from_picofarads(1.0),
+        segments,
+        style: SegmentStyle::Pi,
+        driver_resistance: Resistance::from_ohms(250.0),
+        load_capacitance: Capacitance::from_picofarads(0.1),
+        supply: Voltage::from_volts(1.0),
+    }
+}
+
+fn bench_simulator_segments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transient_ladder");
+    group.sample_size(10);
+    for segments in [10usize, 20, 40, 80] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &segments,
+            |b, &segments| b.iter(|| measure_step_delay(black_box(&spec(segments))).expect("simulates")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_segments);
+criterion_main!(benches);

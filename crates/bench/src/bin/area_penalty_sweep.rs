@@ -1,0 +1,71 @@
+//! Equation 18: repeater-area penalty of designing with an RC model.
+//!
+//! Sweeps `T_{L/R}` and reports the per-cent increase in total repeater area
+//! (`h·k·Amin`) of the Bakoglu RC design relative to the inductance-aware
+//! design, using both the paper's closed form (Eq. 18) and the exact designs
+//! evaluated on a concrete line. The paper quotes 154% at `T_{L/R} = 3` and
+//! 435% at `T_{L/R} = 5`, and notes `T_{L/R} ≈ 5` is common for wide wires in
+//! a 0.25 µm technology. The switching-energy increase (the paper's
+//! qualitative power argument) is reported alongside.
+//!
+//! Run with `cargo run --release -p rlckit-bench --bin area_penalty_sweep`
+//! (add `--csv` for machine-readable output).
+
+use rlckit_bench::report::{csv_requested, Table};
+use rlckit_interconnect::Technology;
+use rlckit_repeater::comparison::{area_increase_percent_closed_form, compare};
+use rlckit_repeater::RepeaterProblem;
+use rlckit_units::{Area, Capacitance, Inductance, Resistance, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let csv = csv_requested();
+    let mut table = Table::new(
+        "Eq. 18 — repeater area increase from designing with an RC model",
+        &[
+            "T_L/R",
+            "area increase % (Eq. 18)",
+            "area increase % (exact designs)",
+            "energy increase % (exact designs)",
+        ],
+    );
+
+    let tech = Technology::quarter_micron();
+    let rt = 250.0;
+    let ct = 15e-12;
+    let tau = tech.buffer_time_constant().seconds();
+
+    for i in 0..=20 {
+        let t_l_over_r = 0.5 * i as f64;
+        let closed_form = area_increase_percent_closed_form(t_l_over_r);
+        let (exact_area, exact_energy) = if t_l_over_r == 0.0 {
+            (0.0, 0.0)
+        } else {
+            let lt = t_l_over_r * t_l_over_r * tau * rt;
+            let problem = RepeaterProblem::new(
+                Resistance::from_ohms(rt),
+                Inductance::from_henries(lt),
+                Capacitance::from_farads(ct),
+                tech.min_buffer_resistance,
+                tech.min_buffer_capacitance,
+                Area::from_square_micrometers(4.0),
+                Voltage::from_volts(2.5),
+            )?;
+            let cmp = compare(&problem)?;
+            (cmp.area_increase_percent, cmp.energy_increase_percent)
+        };
+        table.push_row(vec![
+            format!("{t_l_over_r:.1}"),
+            format!("{closed_form:.0}"),
+            format!("{exact_area:.0}"),
+            format!("{exact_energy:.0}"),
+        ]);
+    }
+
+    table.print(csv);
+    if !csv {
+        println!();
+        println!("paper's anchors: 154% at T_L/R = 3, 435% at T_L/R = 5 (a common value for");
+        println!("wide wires in a 0.25 um technology).");
+    }
+    Ok(())
+}

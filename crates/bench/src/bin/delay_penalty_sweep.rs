@@ -1,0 +1,62 @@
+//! Equations 16–17: total-delay penalty of designing repeaters with an RC model.
+//!
+//! Sweeps `T_{L/R}` and reports the per-cent increase in total propagation
+//! delay when the repeater system is designed with Bakoglu's RC formulas but
+//! the line is really RLC. Both the exact evaluation (Eq. 16, evaluated with
+//! the closed-form section delay) and the paper's `T_{L/R}`-only approximation
+//! (Eq. 17) are printed; the paper's anchor values are ≈10% at `T_{L/R} = 3`,
+//! ≈20% at 5 and ≈30% at 10.
+//!
+//! Run with `cargo run --release -p rlckit-bench --bin delay_penalty_sweep`
+//! (add `--csv` for machine-readable output).
+
+use rlckit_bench::report::{csv_requested, Table};
+use rlckit_interconnect::Technology;
+use rlckit_repeater::comparison::{compare, delay_increase_percent_approx};
+use rlckit_repeater::RepeaterProblem;
+use rlckit_units::{Area, Capacitance, Inductance, Resistance, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let csv = csv_requested();
+    let mut table = Table::new(
+        "Eqs. 16-17 — delay increase from designing repeaters with an RC model",
+        &["T_L/R", "exact increase % (Eq. 16)", "approx increase % (Eq. 17 fit)"],
+    );
+
+    let tech = Technology::quarter_micron();
+    let rt = 250.0;
+    let ct = 15e-12;
+    let tau = tech.buffer_time_constant().seconds();
+
+    for i in 0..=20 {
+        let t_l_over_r = 0.5 * i as f64;
+        let approx = delay_increase_percent_approx(t_l_over_r);
+        let exact = if t_l_over_r == 0.0 {
+            0.0
+        } else {
+            let lt = t_l_over_r * t_l_over_r * tau * rt;
+            let problem = RepeaterProblem::new(
+                Resistance::from_ohms(rt),
+                Inductance::from_henries(lt),
+                Capacitance::from_farads(ct),
+                tech.min_buffer_resistance,
+                tech.min_buffer_capacitance,
+                Area::from_square_micrometers(4.0),
+                Voltage::from_volts(2.5),
+            )?;
+            compare(&problem)?.delay_increase_percent
+        };
+        table.push_row(vec![
+            format!("{t_l_over_r:.1}"),
+            format!("{exact:.1}"),
+            format!("{approx:.1}"),
+        ]);
+    }
+
+    table.print(csv);
+    if !csv {
+        println!();
+        println!("paper's anchors: ~10% at T_L/R = 3, ~20% at 5, ~30% at 10.");
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Section II headline: quadratic RC length dependence becomes linear with inductance.
+//!
+//! Sweeps the length of a bare line (no gate parasitics, so the pure
+//! interconnect behaviour is visible) for three inductance levels and prints
+//! the closed-form delay together with the local scaling exponent
+//! `d(ln tpd)/d(ln l)`: 2 in the RC limit, 1 in the LC limit. A handful of
+//! ladder simulations cross-check the closed form along the way.
+//!
+//! Run with `cargo run --release -p rlckit-bench --bin length_dependence`
+//! (add `--csv` for machine-readable output).
+
+use rlckit_bench::report::{csv_requested, Table};
+use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
+use rlckit_core::load::GateRlcLoad;
+use rlckit_core::model::propagation_delay;
+use rlckit_units::{
+    Capacitance, CapacitancePerLength, InductancePerLength, Length, Resistance,
+    ResistancePerLength, Voltage,
+};
+
+/// Per-unit-length parasitics of the swept wire.
+const R_PER_MM: f64 = 25.0; // Ω/mm — a moderately resistive signal wire
+const C_PER_MM: f64 = 0.2e-12; // F/mm
+
+fn delay_at(length_mm: f64, l_per_mm: f64) -> f64 {
+    let r = ResistancePerLength::from_ohms_per_millimeter(R_PER_MM);
+    let c = CapacitancePerLength::from_farads_per_meter(C_PER_MM * 1e3);
+    let l = InductancePerLength::from_henries_per_meter(l_per_mm * 1e3);
+    let length = Length::from_millimeters(length_mm);
+    let load = GateRlcLoad::new(
+        r * length,
+        l * length,
+        c * length,
+        Resistance::ZERO,
+        Capacitance::ZERO,
+    )
+    .expect("positive impedances");
+    propagation_delay(&load).seconds()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let csv = csv_requested();
+    let mut table = Table::new(
+        "delay vs length: quadratic (RC) to linear (LC) transition",
+        &["L (nH/mm)", "length (mm)", "tpd Eq. 9 (ps)", "scaling exponent", "tpd simulated (ps)"],
+    );
+
+    // Three inductance levels: negligible, realistic, and exaggerated.
+    let inductance_levels = [1e-15, 0.5e-9, 5e-9]; // H per mm
+    let lengths: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+    for &l_per_mm in &inductance_levels {
+        for (i, &mm) in lengths.iter().enumerate() {
+            let tpd = delay_at(mm, l_per_mm);
+            // Local log-log slope against the previous length point.
+            let exponent = if i == 0 {
+                f64::NAN
+            } else {
+                let prev = delay_at(lengths[i - 1], l_per_mm);
+                (tpd / prev).ln() / (mm / lengths[i - 1]).ln()
+            };
+
+            // Cross-check a few points against the ladder simulator.
+            let simulated = if i % 2 == 1 {
+                let length = Length::from_millimeters(mm);
+                let spec = LadderSpec {
+                    total_resistance: ResistancePerLength::from_ohms_per_millimeter(R_PER_MM)
+                        * length,
+                    total_inductance: InductancePerLength::from_henries_per_meter(l_per_mm * 1e3)
+                        * length,
+                    total_capacitance: CapacitancePerLength::from_farads_per_meter(C_PER_MM * 1e3)
+                        * length,
+                    segments: 40,
+                    style: SegmentStyle::Pi,
+                    driver_resistance: Resistance::ZERO,
+                    load_capacitance: Capacitance::ZERO,
+                    supply: Voltage::from_volts(1.0),
+                };
+                format!("{:.0}", measure_step_delay(&spec)?.delay_50.picoseconds())
+            } else {
+                "-".to_owned()
+            };
+
+            table.push_row(vec![
+                format!("{:.3}", l_per_mm * 1e9),
+                format!("{mm}"),
+                format!("{:.0}", tpd * 1e12),
+                if exponent.is_nan() { "-".to_owned() } else { format!("{exponent:.2}") },
+                simulated,
+            ]);
+        }
+    }
+
+    table.print(csv);
+    if !csv {
+        println!();
+        println!("with negligible inductance the exponent sits at 2 (0.37·R·C·l²); as inductance");
+        println!("grows the long-line exponent falls towards 1 (time-of-flight, l·sqrt(L·C)).");
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Extension experiment: delay / area / energy trade-off of repeated lines.
+//!
+//! Beyond the paper's delay-optimal design (its ref. [10] studies this
+//! trade-off for RC lines), this binary sweeps the number of sections for one
+//! resistive and one inductive wire, re-optimising the repeater size at each
+//! count, and reports how much area and switching energy a small delay slack
+//! buys — with the RLC-aware section delay model throughout.
+//!
+//! Run with `cargo run --release -p rlckit-bench --bin repeater_tradeoff`
+//! (add `--csv` for machine-readable output).
+
+use rlckit_bench::report::{csv_requested, Table};
+use rlckit_interconnect::Technology;
+use rlckit_repeater::tradeoff::{cheapest_within_slack, sections_sweep};
+use rlckit_repeater::RepeaterProblem;
+use rlckit_units::Length;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let csv = csv_requested();
+    let tech = Technology::quarter_micron();
+
+    let wires = [
+        ("intermediate 20 mm (resistive)", tech.intermediate_wire, 20.0),
+        ("global 50 mm (inductive)", tech.global_wire, 50.0),
+    ];
+
+    for (name, wire, mm) in wires {
+        let line = wire.line(Length::from_millimeters(mm))?;
+        let problem = RepeaterProblem::for_line(&line, &tech)?;
+        let mut table = Table::new(
+            format!("delay/area/energy vs section count — {name} (T_L/R = {:.2})", problem.t_l_over_r()),
+            &["sections", "size (x)", "delay (ps)", "area (um^2)", "energy (fJ)"],
+        );
+        for point in sections_sweep(&problem, 10)? {
+            table.push_row(vec![
+                format!("{}", point.sections),
+                format!("{:.0}", point.size),
+                format!("{:.0}", point.total_delay.picoseconds()),
+                format!("{:.0}", point.repeater_area.square_micrometers()),
+                format!("{:.1}", point.switching_energy.joules() * 1e15),
+            ]);
+        }
+        table.print(csv);
+        if !csv {
+            let tight = cheapest_within_slack(&problem, 10, 0.0)?;
+            let relaxed = cheapest_within_slack(&problem, 10, 10.0)?;
+            println!();
+            println!(
+                "delay-optimal point: {} sections, {:.0} um^2 of repeater area",
+                tight.sections,
+                tight.repeater_area.square_micrometers()
+            );
+            println!(
+                "cheapest design within 10% delay slack: {} sections, {:.0} um^2 ({:.0}% area saved)",
+                relaxed.sections,
+                relaxed.repeater_area.square_micrometers(),
+                100.0 * (1.0 - relaxed.repeater_area.square_meters() / tight.repeater_area.square_meters())
+            );
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Table 1: closed-form delay (Eq. 9) against dynamic simulation over a grid of
+//! gate and line impedances.
+//!
+//! The grid is the paper's: `Ct = 1 pF`, `Rtr = 500 Ω`, `RT ∈ {0.1, 0.5, 1.0}`,
+//! `CT ∈ {0.1, 0.5, 1.0}`, `Lt ∈ {10 µH, 1 µH, 0.1 µH, 10 nH}` — 36 operating
+//! points spanning strongly underdamped to strongly overdamped responses. The
+//! reference is the transient MNA ladder simulator standing in for AS/X.
+//!
+//! Run with `cargo run --release -p rlckit-bench --bin table1_delay_accuracy`
+//! (add `--csv` for machine-readable output).
+
+use rlckit_bench::report::{csv_requested, Table};
+use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
+use rlckit_core::accuracy::AccuracyTable;
+use rlckit_core::load::GateRlcLoad;
+use rlckit_core::model::propagation_delay;
+use rlckit_units::{Capacitance, Inductance, Resistance, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let csv = csv_requested();
+    let mut table = Table::new(
+        "Table 1 — Eq. (9) vs dynamic simulation (Ct = 1 pF, Rtr = 500 Ω)",
+        &["RT", "CT", "Lt (H)", "Eq. 9 (ps)", "sim (ps)", "error %", "overshoot %"],
+    );
+    let mut accuracy = AccuracyTable::new();
+
+    let rtr = 500.0;
+    let ct = 1e-12;
+    let rt_ratios = [0.1, 0.5, 1.0];
+    let ct_ratios = [0.1, 0.5, 1.0];
+    let inductances = [1e-5, 1e-6, 1e-7, 1e-8];
+
+    for &rt_ratio in &rt_ratios {
+        for &lt in &inductances {
+            for &ct_ratio in &ct_ratios {
+                let total_resistance = Resistance::from_ohms(rtr / rt_ratio);
+                let driver = Resistance::from_ohms(rtr);
+                let load_cap = Capacitance::from_farads(ct_ratio * ct);
+                let load = GateRlcLoad::new(
+                    total_resistance,
+                    Inductance::from_henries(lt),
+                    Capacitance::from_farads(ct),
+                    driver,
+                    load_cap,
+                )?;
+                let model = propagation_delay(&load);
+
+                let spec = LadderSpec {
+                    total_resistance,
+                    total_inductance: Inductance::from_henries(lt),
+                    total_capacitance: Capacitance::from_farads(ct),
+                    segments: 40,
+                    style: SegmentStyle::Pi,
+                    driver_resistance: driver,
+                    load_capacitance: load_cap,
+                    supply: Voltage::from_volts(1.0),
+                };
+                let simulated = measure_step_delay(&spec)?;
+                let label = format!("RT={rt_ratio} CT={ct_ratio} Lt={lt:.0e}");
+                accuracy.push(label, model, simulated.delay_50);
+
+                let err = model.percent_error_vs(simulated.delay_50);
+                table.push_row(vec![
+                    format!("{rt_ratio}"),
+                    format!("{ct_ratio}"),
+                    format!("{lt:.0e}"),
+                    format!("{:.0}", model.picoseconds()),
+                    format!("{:.0}", simulated.delay_50.picoseconds()),
+                    format!("{err:.2}"),
+                    format!("{:.1}", simulated.overshoot_percent),
+                ]);
+            }
+        }
+    }
+
+    table.print(csv);
+    if !csv {
+        let summary = accuracy.summary()?;
+        println!();
+        println!("error summary over {} operating points: {summary}", accuracy.len());
+        if let Some(worst) = accuracy.worst() {
+            println!("worst cell: {} ({:.2}%)", worst.label, worst.percent_error());
+        }
+        println!("paper's claim: the error of Eq. (9) stays below ~5% over this grid.");
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for reproducing every table and figure of the paper.
+//!
+//! Each binary under `src/bin/` regenerates one experiment (see DESIGN.md and
+//! EXPERIMENTS.md for the index); the Criterion benches under `benches/`
+//! measure the runtime cost of the closed forms against the numerical and
+//! simulation-based alternatives. This library crate only holds the small
+//! report-formatting helpers those targets share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,148 @@
+//! Plain-text / markdown / CSV table rendering for the experiment binaries.
+//!
+//! The experiment binaries print aligned text tables for reading in a terminal
+//! and can optionally dump the same data as CSV (for plotting) by passing
+//! `--csv` on the command line.
+
+use std::fmt::Write as _;
+
+/// A simple column-oriented results table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row must have one cell per header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(widths.iter())
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Prints the table to stdout, as CSV when `csv` is `true`, otherwise as text.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            print!("{}", self.to_csv());
+        } else {
+            print!("{}", self.to_text());
+        }
+    }
+}
+
+/// Returns `true` if the process arguments request CSV output (`--csv`).
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.push_row(vec!["1".into(), "10.5".into()]);
+        t.push_row(vec!["2".into(), "20.25".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let t = sample();
+        let text = t.to_text();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("x"));
+        assert!(text.contains("20.25"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("x,value\n"));
+        assert!(csv.contains("2,20.25"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_length_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", &["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.to_csv().starts_with("a"));
+    }
+}

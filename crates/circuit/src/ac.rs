@@ -1,0 +1,177 @@
+//! Complex-frequency (AC / Laplace-domain) analysis.
+//!
+//! Solves `(G + s·C)·X(s) = B` at an arbitrary complex frequency `s`, with a
+//! single selected source driven at unit amplitude. This gives exact transfer
+//! functions of the lumped circuit, used to cross-check the transient solver
+//! and to compare a segmented ladder against the exact distributed-line
+//! two-port of the `interconnect` crate.
+
+use rlckit_numeric::complex::Complex;
+use rlckit_numeric::lu::LuFactor;
+use rlckit_units::Frequency;
+
+use crate::error::CircuitError;
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, NodeId, SourceId};
+
+/// Complex-frequency solution of a circuit for one excitation.
+#[derive(Debug, Clone)]
+pub struct AcSolution {
+    state: Vec<Complex>,
+}
+
+impl AcSolution {
+    /// Complex node voltage (transfer function value) at `node`.
+    pub fn node_voltage(&self, node: NodeId) -> Complex {
+        if node.is_ground() {
+            Complex::ZERO
+        } else {
+            self.state[node.index() - 1]
+        }
+    }
+}
+
+/// Solves the circuit at a single complex frequency with `source` driven at
+/// unit amplitude (all other sources off).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::EmptyCircuit`], [`CircuitError::UnknownSource`], or
+/// [`CircuitError::SingularSystem`] if the complex system cannot be factorised.
+pub fn solve_at(circuit: &Circuit, source: SourceId, s: Complex) -> Result<AcSolution, CircuitError> {
+    let mna = MnaSystem::build(circuit)?;
+    let a = mna.complex_system(s);
+    let b = mna.unit_excitation(source)?;
+    let factor = LuFactor::new(&a).map_err(|_| CircuitError::SingularSystem { stage: "ac analysis" })?;
+    let state = factor.solve(&b);
+    Ok(AcSolution { state })
+}
+
+/// Transfer function `V(node)/V(source)` at a single complex frequency.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_at`], plus [`CircuitError::UnknownNode`] for a
+/// foreign node.
+pub fn transfer_function(
+    circuit: &Circuit,
+    source: SourceId,
+    node: NodeId,
+    s: Complex,
+) -> Result<Complex, CircuitError> {
+    circuit.validate_node(node)?;
+    Ok(solve_at(circuit, source, s)?.node_voltage(node))
+}
+
+/// Magnitude and phase of the transfer function over a list of real frequencies.
+///
+/// Returns one `(frequency, magnitude, phase_radians)` triple per input
+/// frequency.
+///
+/// # Errors
+///
+/// Same conditions as [`transfer_function`].
+pub fn frequency_sweep(
+    circuit: &Circuit,
+    source: SourceId,
+    node: NodeId,
+    frequencies: &[Frequency],
+) -> Result<Vec<(Frequency, f64, f64)>, CircuitError> {
+    let mut out = Vec::with_capacity(frequencies.len());
+    for &f in frequencies {
+        let s = Complex::new(0.0, f.angular());
+        let h = transfer_function(circuit, source, node, s)?;
+        out.push((f, h.abs(), h.arg()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+    use rlckit_units::{Capacitance, Inductance, Resistance};
+
+    /// RC low-pass with τ = 1 ns.
+    fn rc_lowpass() -> (Circuit, SourceId, NodeId) {
+        let mut c = Circuit::new();
+        let input = c.add_node();
+        let out = c.add_node();
+        let gnd = c.ground();
+        let src = c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(input, out, Resistance::from_ohms(1000.0)).unwrap();
+        c.add_capacitor(out, gnd, Capacitance::from_picofarads(1.0)).unwrap();
+        (c, src, out)
+    }
+
+    #[test]
+    fn dc_gain_of_lowpass_is_unity() {
+        let (c, src, out) = rc_lowpass();
+        let h = transfer_function(&c, src, out, Complex::ZERO).unwrap();
+        assert!((h.re - 1.0).abs() < 1e-6);
+        assert!(h.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn corner_frequency_gain_is_minus_3db() {
+        let (c, src, out) = rc_lowpass();
+        let tau = 1e-9;
+        let s = Complex::new(0.0, 1.0 / tau);
+        let h = transfer_function(&c, src, out, s).unwrap();
+        assert!((h.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert!((h.arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_analytic_first_order_transfer() {
+        let (c, src, out) = rc_lowpass();
+        let tau = 1e-9;
+        for &(re, im) in &[(1e8, 5e8), (2e9, -1e9), (0.0, 3e9)] {
+            let s = Complex::new(re, im);
+            let h = transfer_function(&c, src, out, s).unwrap();
+            let want = (s * tau + 1.0).recip();
+            assert!((h - want).abs() < 1e-6, "s = {s}: got {h}, want {want}");
+        }
+    }
+
+    #[test]
+    fn series_rlc_resonance() {
+        // Series RLC to ground measured across the capacitor: |H| peaks near
+        // the resonant frequency for low damping.
+        let mut c = Circuit::new();
+        let input = c.add_node();
+        let mid = c.add_node();
+        let out = c.add_node();
+        let gnd = c.ground();
+        let src = c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(input, mid, Resistance::from_ohms(10.0)).unwrap();
+        c.add_inductor(mid, out, Inductance::from_nanohenries(10.0)).unwrap();
+        c.add_capacitor(out, gnd, Capacitance::from_picofarads(1.0)).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (10e-9f64 * 1e-12).sqrt());
+        let freqs: Vec<Frequency> = [0.2, 0.5, 1.0, 2.0, 5.0]
+            .iter()
+            .map(|m| Frequency::from_hertz(m * f0))
+            .collect();
+        let sweep = frequency_sweep(&c, src, out, &freqs).unwrap();
+        assert_eq!(sweep.len(), 5);
+        let gains: Vec<f64> = sweep.iter().map(|(_, g, _)| *g).collect();
+        // Gain at resonance exceeds the DC gain (which is ~1).
+        assert!(gains[2] > 2.0, "resonant gain {}", gains[2]);
+        // Well above resonance the line attenuates.
+        assert!(gains[4] < 0.2, "high-frequency gain {}", gains[4]);
+    }
+
+    #[test]
+    fn unknown_source_and_node_are_errors() {
+        let (c, _, out) = rc_lowpass();
+        assert!(matches!(
+            transfer_function(&c, SourceId(3), out, Complex::ZERO),
+            Err(CircuitError::UnknownSource { .. })
+        ));
+        let (c2, src, _) = rc_lowpass();
+        assert!(matches!(
+            transfer_function(&c2, src, NodeId(50), Complex::ZERO),
+            Err(CircuitError::UnknownNode { .. })
+        ));
+    }
+}

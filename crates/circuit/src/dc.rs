@@ -1,0 +1,137 @@
+//! DC operating-point analysis.
+//!
+//! Solves `G·x = b(t)` with the storage elements at their DC behaviour
+//! (capacitors open, inductors short — both fall out naturally from the MNA
+//! formulation when `dx/dt = 0`). Used to obtain consistent initial
+//! conditions for transient analysis.
+
+use rlckit_numeric::lu::LuFactor;
+use rlckit_units::{Time, Voltage};
+
+use crate::error::CircuitError;
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, NodeId};
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    state: Vec<f64>,
+    node_unknowns: usize,
+}
+
+impl DcSolution {
+    /// Voltage of a node in the DC solution.
+    pub fn node_voltage(&self, node: NodeId) -> Voltage {
+        if node.is_ground() {
+            Voltage::ZERO
+        } else {
+            Voltage::from_volts(self.state[node.index() - 1])
+        }
+    }
+
+    /// The full MNA unknown vector (node voltages then branch currents).
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// The node-voltage portion of the solution (excluding branch currents).
+    pub fn node_voltages(&self) -> &[f64] {
+        &self.state[..self.node_unknowns]
+    }
+}
+
+/// Computes the DC operating point of a circuit with sources evaluated at time `t`.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::EmptyCircuit`] for an element-free circuit and
+/// [`CircuitError::SingularSystem`] if the DC system cannot be solved.
+pub fn operating_point_at(circuit: &Circuit, t: Time) -> Result<DcSolution, CircuitError> {
+    let mna = MnaSystem::build(circuit)?;
+    let factor = LuFactor::new(mna.g()).map_err(|_| CircuitError::SingularSystem { stage: "dc analysis" })?;
+    let mut b = vec![0.0; mna.dim()];
+    mna.rhs_at(t, &mut b);
+    let state = factor.solve(&b);
+    Ok(DcSolution { state, node_unknowns: mna.node_unknowns() })
+}
+
+/// Computes the DC operating point with sources evaluated at `t = 0`.
+///
+/// # Errors
+///
+/// Same conditions as [`operating_point_at`].
+pub fn operating_point(circuit: &Circuit) -> Result<DcSolution, CircuitError> {
+    operating_point_at(circuit, Time::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+    use rlckit_units::{Capacitance, Inductance, Resistance};
+
+    #[test]
+    fn resistive_divider() {
+        let mut c = Circuit::new();
+        let top = c.add_node();
+        let mid = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(top, gnd, SourceWaveform::Dc { level: Voltage::from_volts(3.0) })
+            .unwrap();
+        c.add_resistor(top, mid, Resistance::from_ohms(1000.0)).unwrap();
+        c.add_resistor(mid, gnd, Resistance::from_ohms(2000.0)).unwrap();
+        let dc = operating_point(&c).unwrap();
+        assert!((dc.node_voltage(top).volts() - 3.0).abs() < 1e-9);
+        assert!((dc.node_voltage(mid).volts() - 2.0).abs() < 1e-6);
+        assert_eq!(dc.node_voltage(gnd).volts(), 0.0);
+        assert_eq!(dc.state().len(), 3);
+    }
+
+    #[test]
+    fn inductor_is_a_dc_short() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::Dc { level: Voltage::from_volts(1.0) })
+            .unwrap();
+        c.add_inductor(a, b, Inductance::from_nanohenries(10.0)).unwrap();
+        c.add_resistor(b, gnd, Resistance::from_ohms(100.0)).unwrap();
+        let dc = operating_point(&c).unwrap();
+        assert!((dc.node_voltage(b).volts() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_a_dc_open() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::Dc { level: Voltage::from_volts(1.0) })
+            .unwrap();
+        c.add_resistor(a, b, Resistance::from_ohms(1000.0)).unwrap();
+        c.add_capacitor(b, gnd, Capacitance::from_picofarads(1.0)).unwrap();
+        let dc = operating_point(&c).unwrap();
+        // No DC current flows, so node b sits at the source voltage.
+        assert!((dc.node_voltage(b).volts() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_source_is_zero_at_time_zero() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(a, gnd, Resistance::from_ohms(100.0)).unwrap();
+        let dc0 = operating_point(&c).unwrap();
+        assert_eq!(dc0.node_voltage(a).volts(), 0.0);
+        let dc1 = operating_point_at(&c, Time::from_picoseconds(1.0)).unwrap();
+        assert!((dc1.node_voltage(a).volts() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(operating_point(&c), Err(CircuitError::EmptyCircuit)));
+    }
+}

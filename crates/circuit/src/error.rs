@@ -1,0 +1,101 @@
+//! Error type shared by all circuit analyses.
+
+use std::error::Error;
+use std::fmt;
+
+use rlckit_numeric::lu::FactorizeError;
+
+/// Error returned by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A component value is not usable (negative, NaN, or otherwise out of range).
+    InvalidValue {
+        /// Which component parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A node identifier does not belong to this circuit.
+    UnknownNode {
+        /// The raw node index supplied.
+        index: usize,
+    },
+    /// A source identifier does not belong to this circuit.
+    UnknownSource {
+        /// The raw source index supplied.
+        index: usize,
+    },
+    /// The circuit has no elements to analyse.
+    EmptyCircuit,
+    /// The MNA matrix could not be factorised (floating node, short loop, ...).
+    SingularSystem {
+        /// Description of the analysis stage that failed.
+        stage: &'static str,
+    },
+    /// An analysis option is invalid (non-positive stop time, zero timestep, ...).
+    InvalidAnalysis {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// A requested measurement could not be computed from the waveform.
+    Measurement {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidValue { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+            Self::UnknownNode { index } => write!(f, "node {index} does not belong to this circuit"),
+            Self::UnknownSource { index } => {
+                write!(f, "source {index} does not belong to this circuit")
+            }
+            Self::EmptyCircuit => write!(f, "circuit contains no elements"),
+            Self::SingularSystem { stage } => {
+                write!(f, "circuit matrix is singular during {stage} (floating node or short loop)")
+            }
+            Self::InvalidAnalysis { reason } => write!(f, "invalid analysis options: {reason}"),
+            Self::Measurement { reason } => write!(f, "measurement failed: {reason}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+impl From<FactorizeError> for CircuitError {
+    fn from(_: FactorizeError) -> Self {
+        Self::SingularSystem { stage: "matrix factorisation" }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CircuitError::InvalidValue { what: "resistance", value: -1.0 }
+            .to_string()
+            .contains("resistance"));
+        assert!(CircuitError::UnknownNode { index: 7 }.to_string().contains('7'));
+        assert!(CircuitError::UnknownSource { index: 2 }.to_string().contains('2'));
+        assert!(CircuitError::EmptyCircuit.to_string().contains("no elements"));
+        assert!(CircuitError::SingularSystem { stage: "dc" }.to_string().contains("dc"));
+        assert!(CircuitError::InvalidAnalysis { reason: "zero step" }
+            .to_string()
+            .contains("zero step"));
+        assert!(CircuitError::Measurement { reason: "no crossing".into() }
+            .to_string()
+            .contains("no crossing"));
+    }
+
+    #[test]
+    fn conversion_from_factorize_error() {
+        let e: CircuitError = FactorizeError::Singular { column: 3 }.into();
+        assert!(matches!(e, CircuitError::SingularSystem { .. }));
+    }
+}

@@ -1,0 +1,390 @@
+//! Gate-driven RLC transmission-line ladders (the circuit of Fig. 1).
+//!
+//! The distributed line is approximated by `N` identical lumped segments. With
+//! the default [`SegmentStyle::Pi`] topology each segment carries the series
+//! impedance `R/N`, `L/N` with half of the shunt capacitance `C/N` at each
+//! end, which converges to the distributed line with second-order accuracy in
+//! `1/N`.
+//!
+//! The driver is the paper's abstraction of a CMOS gate: an ideal step source
+//! behind the equivalent output resistance `Rtr`. The far end carries the
+//! receiver input capacitance `CL`.
+
+use rlckit_units::{Capacitance, Inductance, Resistance, Time, Voltage};
+
+use crate::error::CircuitError;
+use crate::netlist::{Circuit, NodeId, SourceId};
+use crate::source::SourceWaveform;
+use crate::transient::{run_transient, Integration, TransientOptions};
+use crate::waveform::Waveform;
+
+/// Lumped-segment topology used to discretise the distributed line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentStyle {
+    /// Series `R/N`–`L/N` followed by the full shunt `C/N` (first-order accurate).
+    LSection,
+    /// Half the shunt capacitance on each side of the series impedance
+    /// (second-order accurate, default).
+    #[default]
+    Pi,
+}
+
+/// Description of a CMOS gate driving a uniform RLC line with a capacitive load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderSpec {
+    /// Total line resistance `Rt = R·l`.
+    pub total_resistance: Resistance,
+    /// Total line inductance `Lt = L·l`.
+    pub total_inductance: Inductance,
+    /// Total line capacitance `Ct = C·l`.
+    pub total_capacitance: Capacitance,
+    /// Number of lumped segments used to approximate the distributed line.
+    pub segments: usize,
+    /// Segment topology.
+    pub style: SegmentStyle,
+    /// Driver equivalent output resistance `Rtr` (zero allowed: ideal driver).
+    pub driver_resistance: Resistance,
+    /// Receiver input capacitance `CL` (zero allowed: open far end).
+    pub load_capacitance: Capacitance,
+    /// Step amplitude (the supply voltage).
+    pub supply: Voltage,
+}
+
+impl LadderSpec {
+    /// A specification with a 1 V supply, 40 π-segments and the given impedances.
+    pub fn new(
+        total_resistance: Resistance,
+        total_inductance: Inductance,
+        total_capacitance: Capacitance,
+        driver_resistance: Resistance,
+        load_capacitance: Capacitance,
+    ) -> Self {
+        Self {
+            total_resistance,
+            total_inductance,
+            total_capacitance,
+            segments: 40,
+            style: SegmentStyle::Pi,
+            driver_resistance,
+            load_capacitance,
+            supply: Voltage::from_volts(1.0),
+        }
+    }
+
+    fn validate(&self) -> Result<(), CircuitError> {
+        let check = |value: f64, what: &'static str| -> Result<(), CircuitError> {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(CircuitError::InvalidValue { what, value })
+            }
+        };
+        check(self.total_resistance.ohms(), "total line resistance")?;
+        check(self.total_inductance.henries(), "total line inductance")?;
+        check(self.total_capacitance.farads(), "total line capacitance")?;
+        check(self.supply.volts(), "supply voltage")?;
+        if self.segments == 0 {
+            return Err(CircuitError::InvalidValue { what: "segment count", value: 0.0 });
+        }
+        if !(self.driver_resistance.ohms() >= 0.0) || !self.driver_resistance.ohms().is_finite() {
+            return Err(CircuitError::InvalidValue {
+                what: "driver resistance",
+                value: self.driver_resistance.ohms(),
+            });
+        }
+        if !(self.load_capacitance.farads() >= 0.0) || !self.load_capacitance.farads().is_finite() {
+            return Err(CircuitError::InvalidValue {
+                what: "load capacitance",
+                value: self.load_capacitance.farads(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the step-driven ladder circuit described by this specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] if any impedance is non-positive
+    /// (driver resistance and load capacitance may be zero).
+    pub fn build(&self) -> Result<LadderLine, CircuitError> {
+        self.validate()?;
+        let n = self.segments;
+        let r_seg = self.total_resistance / n as f64;
+        let l_seg = self.total_inductance / n as f64;
+        let c_seg = self.total_capacitance / n as f64;
+
+        let mut circuit = Circuit::new();
+        let gnd = circuit.ground();
+        let source_node = circuit.add_node();
+        let source = circuit.add_voltage_source(
+            source_node,
+            gnd,
+            SourceWaveform::Step { amplitude: self.supply, delay: Time::ZERO },
+        )?;
+
+        // Driver output resistance (omitted when zero: the source drives the
+        // line input directly).
+        let line_input = if self.driver_resistance.ohms() > 0.0 {
+            let node = circuit.add_node();
+            circuit.add_resistor(source_node, node, self.driver_resistance)?;
+            node
+        } else {
+            source_node
+        };
+
+        let mut prev = line_input;
+        for i in 0..n {
+            match self.style {
+                SegmentStyle::Pi => {
+                    // Half shunt at the near side, series R-L, half shunt at the far side.
+                    circuit.add_capacitor(prev, gnd, c_seg / 2.0)?;
+                    let mid = circuit.add_node();
+                    let next = circuit.add_node();
+                    circuit.add_resistor(prev, mid, r_seg)?;
+                    circuit.add_inductor(mid, next, l_seg)?;
+                    circuit.add_capacitor(next, gnd, c_seg / 2.0)?;
+                    prev = next;
+                }
+                SegmentStyle::LSection => {
+                    let mid = circuit.add_node();
+                    let next = circuit.add_node();
+                    circuit.add_resistor(prev, mid, r_seg)?;
+                    circuit.add_inductor(mid, next, l_seg)?;
+                    circuit.add_capacitor(next, gnd, c_seg)?;
+                    prev = next;
+                }
+            }
+            let _ = i;
+        }
+        let output = prev;
+        if self.load_capacitance.farads() > 0.0 {
+            circuit.add_capacitor(output, gnd, self.load_capacitance)?;
+        }
+
+        Ok(LadderLine { circuit, source, input: line_input, output, spec: *self })
+    }
+
+    /// A conservative timestep for transient analysis of this line.
+    ///
+    /// The fastest mode of the segmented ladder rings at roughly the segment
+    /// time of flight `sqrt((Lt/N)(Ct/N))`; the suggestion resolves that mode
+    /// with ~8 points and also resolves the overall RC and time-of-flight
+    /// scales with at least ~2000 points.
+    pub fn suggested_timestep(&self) -> Time {
+        let lt = self.total_inductance.henries();
+        let ct = self.total_capacitance.farads() + self.load_capacitance.farads();
+        let rt = self.total_resistance.ohms() + self.driver_resistance.ohms();
+        let n = self.segments as f64;
+        let segment_tof = (lt * ct).sqrt() / n;
+        let horizon = self.suggested_stop_time().seconds();
+        let dt = (segment_tof / 8.0).min(horizon / 2000.0);
+        // Guard against degenerate zero.
+        Time::from_seconds(dt.max(horizon / 200_000.0).max(1e-18 * rt.max(1.0)))
+    }
+
+    /// A stop time long enough for the output to cross 50% in every damping regime.
+    pub fn suggested_stop_time(&self) -> Time {
+        let lt = self.total_inductance.henries();
+        let ct = self.total_capacitance.farads() + self.load_capacitance.farads();
+        let rc = (self.total_resistance.ohms() + self.driver_resistance.ohms()) * ct;
+        let tof = (lt * ct).sqrt();
+        // Several RC time constants plus several round trips of the wave.
+        Time::from_seconds(4.0 * rc + 10.0 * tof)
+    }
+}
+
+/// A built ladder circuit plus its interesting nodes.
+#[derive(Debug, Clone)]
+pub struct LadderLine {
+    /// The assembled netlist.
+    pub circuit: Circuit,
+    /// The step source driving the line.
+    pub source: SourceId,
+    /// The line input node (after the driver resistance).
+    pub input: NodeId,
+    /// The far-end output node (across the load capacitance).
+    pub output: NodeId,
+    spec: LadderSpec,
+}
+
+impl LadderLine {
+    /// The specification this line was built from.
+    pub fn spec(&self) -> &LadderSpec {
+        &self.spec
+    }
+}
+
+/// Timing measurements extracted from a simulated step response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDelayMeasurement {
+    /// 50% propagation delay.
+    pub delay_50: Time,
+    /// 10%–90% rise time.
+    pub rise_time: Time,
+    /// Overshoot above the supply, in per cent.
+    pub overshoot_percent: f64,
+}
+
+/// Builds, simulates and measures a step-driven line in one call.
+///
+/// This is the "ask the dynamic simulator" entry point used throughout the
+/// workspace when a reference delay is needed. Timestep and horizon are
+/// chosen by [`LadderSpec::suggested_timestep`]/[`LadderSpec::suggested_stop_time`];
+/// if the output has not crossed 50% by the initial horizon the run is
+/// retried with a longer one.
+///
+/// # Errors
+///
+/// Propagates construction/analysis errors, or a
+/// [`CircuitError::Measurement`] if the output never crosses 50% even after
+/// extending the horizon.
+pub fn measure_step_delay(spec: &LadderSpec) -> Result<StepDelayMeasurement, CircuitError> {
+    let line = spec.build()?;
+    let mut stop = spec.suggested_stop_time();
+    let mut last_error = None;
+    for _ in 0..4 {
+        let step = spec.suggested_timestep().min(stop / 2000.0);
+        let options = TransientOptions { stop_time: stop, step, method: Integration::Trapezoidal };
+        let result = run_transient(&line.circuit, &options)?;
+        let wave = result.node_voltage(line.output);
+        match measurement_from_waveform(&wave, spec.supply) {
+            Ok(m) => return Ok(m),
+            Err(e) => {
+                last_error = Some(e);
+                stop = stop * 4.0;
+            }
+        }
+    }
+    Err(last_error.unwrap_or(CircuitError::Measurement {
+        reason: "output never crossed 50% of the supply".to_owned(),
+    }))
+}
+
+fn measurement_from_waveform(wave: &Waveform, supply: Voltage) -> Result<StepDelayMeasurement, CircuitError> {
+    let delay_50 = wave.delay_50(supply)?;
+    let rise_time = wave.rise_time(supply)?;
+    let overshoot_percent = wave.overshoot_percent(supply);
+    Ok(StepDelayMeasurement { delay_50, rise_time, overshoot_percent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> LadderSpec {
+        LadderSpec::new(
+            Resistance::from_ohms(500.0),
+            Inductance::from_nanohenries(10.0),
+            Capacitance::from_picofarads(1.0),
+            Resistance::from_ohms(250.0),
+            Capacitance::from_picofarads(0.1),
+        )
+    }
+
+    #[test]
+    fn build_produces_expected_topology() {
+        let spec = base_spec();
+        let line = spec.build().unwrap();
+        // Pi style: per segment 1 R + 1 L + 2 C, plus source, driver R, load C.
+        let elements = line.circuit.elements().len();
+        assert_eq!(elements, 1 + 1 + spec.segments * 4 + 1);
+        assert_eq!(line.spec(), &spec);
+        assert_ne!(line.input, line.output);
+    }
+
+    #[test]
+    fn zero_driver_and_load_are_allowed() {
+        let mut spec = base_spec();
+        spec.driver_resistance = Resistance::ZERO;
+        spec.load_capacitance = Capacitance::ZERO;
+        let line = spec.build().unwrap();
+        // No driver resistor and no load capacitor.
+        assert_eq!(line.circuit.elements().len(), 1 + spec.segments * 4);
+    }
+
+    #[test]
+    fn invalid_values_are_rejected() {
+        let mut spec = base_spec();
+        spec.total_resistance = Resistance::ZERO;
+        assert!(spec.build().is_err());
+        let mut spec = base_spec();
+        spec.segments = 0;
+        assert!(spec.build().is_err());
+        let mut spec = base_spec();
+        spec.driver_resistance = Resistance::from_ohms(-1.0);
+        assert!(spec.build().is_err());
+        let mut spec = base_spec();
+        spec.load_capacitance = Capacitance::from_farads(f64::NAN);
+        assert!(spec.build().is_err());
+        let mut spec = base_spec();
+        spec.supply = Voltage::ZERO;
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn suggested_times_are_positive_and_ordered() {
+        let spec = base_spec();
+        let dt = spec.suggested_timestep();
+        let stop = spec.suggested_stop_time();
+        assert!(dt.seconds() > 0.0);
+        assert!(stop.seconds() > dt.seconds() * 100.0);
+    }
+
+    #[test]
+    fn rc_dominated_line_matches_distributed_rc_delay() {
+        // Negligible inductance, no gate parasitics: the 50% delay of a
+        // distributed RC line is 0.377·Rt·Ct (Sakurai). With a small but
+        // non-zero L and a fine ladder the simulated delay should be close.
+        let spec = LadderSpec {
+            total_resistance: Resistance::from_ohms(1000.0),
+            total_inductance: Inductance::from_picohenries(1.0),
+            total_capacitance: Capacitance::from_picofarads(1.0),
+            segments: 60,
+            style: SegmentStyle::Pi,
+            driver_resistance: Resistance::ZERO,
+            load_capacitance: Capacitance::ZERO,
+            supply: Voltage::from_volts(1.0),
+        };
+        let m = measure_step_delay(&spec).unwrap();
+        let rt_ct = 1000.0 * 1e-12;
+        let expected = 0.377 * rt_ct;
+        let err = (m.delay_50.seconds() - expected).abs() / expected;
+        assert!(err < 0.05, "delay {} vs distributed-RC {expected}, err {err}", m.delay_50.seconds());
+        assert_eq!(m.overshoot_percent, 0.0);
+        assert!(m.rise_time.seconds() > 0.0);
+    }
+
+    #[test]
+    fn lossless_line_delay_is_time_of_flight() {
+        // R → 0 (tiny), no gate parasitics: delay approaches sqrt(Lt·Ct).
+        let spec = LadderSpec {
+            total_resistance: Resistance::from_ohms(1.0),
+            total_inductance: Inductance::from_nanohenries(10.0),
+            total_capacitance: Capacitance::from_picofarads(1.0),
+            segments: 80,
+            style: SegmentStyle::Pi,
+            driver_resistance: Resistance::ZERO,
+            load_capacitance: Capacitance::ZERO,
+            supply: Voltage::from_volts(1.0),
+        };
+        let m = measure_step_delay(&spec).unwrap();
+        let tof = (10e-9f64 * 1e-12).sqrt();
+        let err = (m.delay_50.seconds() - tof).abs() / tof;
+        assert!(err < 0.1, "delay {} vs time of flight {tof}, err {err}", m.delay_50.seconds());
+        // A nearly lossless line rings hard.
+        assert!(m.overshoot_percent > 20.0);
+    }
+
+    #[test]
+    fn pi_and_l_sections_agree_for_fine_ladders() {
+        let mut spec = base_spec();
+        spec.segments = 80;
+        spec.style = SegmentStyle::Pi;
+        let pi = measure_step_delay(&spec).unwrap();
+        spec.style = SegmentStyle::LSection;
+        let l = measure_step_delay(&spec).unwrap();
+        let diff = (pi.delay_50.seconds() - l.delay_50.seconds()).abs() / pi.delay_50.seconds();
+        assert!(diff < 0.03, "π vs L section delays differ by {diff}");
+    }
+}

@@ -1,0 +1,396 @@
+//! Assembly of the modified nodal analysis (MNA) equations.
+//!
+//! A linear circuit is described by the differential-algebraic system
+//!
+//! ```text
+//! G·x(t) + C·dx/dt = b(t)
+//! ```
+//!
+//! where `x` stacks the non-ground node voltages followed by the branch
+//! currents of voltage sources and inductors. [`MnaSystem::build`] assembles
+//! the constant `G` and `C` matrices once; analyses then evaluate the
+//! time-varying right-hand side `b(t)` as needed.
+//!
+//! A small conductance (`GMIN`) is added from every node to ground so that
+//! circuits with capacitor-only nodes still have a non-singular `G`, matching
+//! common SPICE practice.
+
+use rlckit_numeric::complex::Complex;
+use rlckit_numeric::matrix::Matrix;
+use rlckit_units::Time;
+
+use crate::error::CircuitError;
+use crate::netlist::{Circuit, Element, NodeId, SourceId};
+use crate::source::SourceWaveform;
+
+/// Minimum conductance to ground added at every node (siemens).
+pub const GMIN: f64 = 1e-12;
+
+/// Right-hand-side contribution of one independent source.
+#[derive(Debug, Clone)]
+enum SourceStamp {
+    /// Voltage source occupying the given branch row.
+    Voltage {
+        row: usize,
+        waveform: SourceWaveform,
+    },
+    /// Current source injecting into `plus_row` and drawing from `minus_row`
+    /// (either may be `None` when that terminal is ground).
+    Current {
+        plus_row: Option<usize>,
+        minus_row: Option<usize>,
+        waveform: SourceWaveform,
+    },
+}
+
+/// The assembled MNA system of a circuit.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    node_unknowns: usize,
+    dim: usize,
+    g: Matrix<f64>,
+    c: Matrix<f64>,
+    sources: Vec<SourceStamp>,
+    source_ids: Vec<usize>,
+}
+
+impl MnaSystem {
+    /// Assembles the MNA matrices for a circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::EmptyCircuit`] if the circuit has no elements.
+    pub fn build(circuit: &Circuit) -> Result<Self, CircuitError> {
+        if circuit.is_empty() {
+            return Err(CircuitError::EmptyCircuit);
+        }
+        let node_unknowns = circuit.node_count() - 1;
+
+        // Count branch unknowns: one per voltage source and per inductor.
+        let branch_count = circuit
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. } | Element::Inductor { .. }))
+            .count();
+        let dim = node_unknowns + branch_count;
+        let dim = dim.max(1);
+
+        let mut g = Matrix::zeros(dim, dim);
+        let mut c = Matrix::zeros(dim, dim);
+        let mut sources = Vec::new();
+        let mut source_ids = Vec::new();
+
+        // GMIN from every node to ground keeps G invertible.
+        for i in 0..node_unknowns {
+            g.add_at(i, i, GMIN);
+        }
+
+        let row_of = |node: NodeId| -> Option<usize> {
+            if node.is_ground() {
+                None
+            } else {
+                Some(node.index() - 1)
+            }
+        };
+
+        let mut next_branch = node_unknowns;
+        for element in circuit.elements() {
+            match element {
+                Element::Resistor { plus, minus, value } => {
+                    let conductance = 1.0 / value.ohms();
+                    stamp_conductance(&mut g, row_of(*plus), row_of(*minus), conductance);
+                }
+                Element::Capacitor { plus, minus, value } => {
+                    stamp_conductance(&mut c, row_of(*plus), row_of(*minus), value.farads());
+                }
+                Element::Inductor { plus, minus, value } => {
+                    let b = next_branch;
+                    next_branch += 1;
+                    stamp_branch_incidence(&mut g, row_of(*plus), row_of(*minus), b);
+                    c.add_at(b, b, -value.henries());
+                }
+                Element::VoltageSource { plus, minus, source, waveform } => {
+                    let b = next_branch;
+                    next_branch += 1;
+                    stamp_branch_incidence(&mut g, row_of(*plus), row_of(*minus), b);
+                    sources.push(SourceStamp::Voltage { row: b, waveform: waveform.clone() });
+                    source_ids.push(source.index());
+                }
+                Element::CurrentSource { plus, minus, source, waveform } => {
+                    sources.push(SourceStamp::Current {
+                        plus_row: row_of(*plus),
+                        minus_row: row_of(*minus),
+                        waveform: waveform.clone(),
+                    });
+                    source_ids.push(source.index());
+                }
+            }
+        }
+
+        Ok(Self { node_unknowns, dim, g, c, sources, source_ids })
+    }
+
+    /// Dimension of the unknown vector (node voltages + branch currents).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of node-voltage unknowns (nodes excluding ground).
+    pub fn node_unknowns(&self) -> usize {
+        self.node_unknowns
+    }
+
+    /// The conductance/incidence matrix `G`.
+    pub fn g(&self) -> &Matrix<f64> {
+        &self.g
+    }
+
+    /// The storage matrix `C` (capacitances and inductances).
+    pub fn c(&self) -> &Matrix<f64> {
+        &self.c
+    }
+
+    /// Row of the unknown vector holding the voltage of `node`, or `None` for
+    /// ground.
+    pub fn row_of_node(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Evaluates the right-hand side `b(t)` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn rhs_at(&self, t: Time, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "rhs buffer length must equal system dimension");
+        out.fill(0.0);
+        for source in &self.sources {
+            match source {
+                SourceStamp::Voltage { row, waveform } => {
+                    out[*row] += waveform.value_at(t).volts();
+                }
+                SourceStamp::Current { plus_row, minus_row, waveform } => {
+                    let value = waveform.value_at(t).volts();
+                    if let Some(p) = plus_row {
+                        out[*p] += value;
+                    }
+                    if let Some(m) = minus_row {
+                        out[*m] -= value;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the complex system matrix `A(s) = G + s·C` at a complex frequency.
+    pub fn complex_system(&self, s: Complex) -> Matrix<Complex> {
+        let mut a = Matrix::<Complex>::zeros(self.dim, self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let value = Complex::from_real(self.g[(i, j)]) + s * self.c[(i, j)];
+                if value != Complex::ZERO {
+                    a[(i, j)] = value;
+                }
+            }
+        }
+        a
+    }
+
+    /// Builds the right-hand side for an AC/complex-frequency analysis in which
+    /// the source `excited` has unit amplitude and every other source is off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSource`] if the source does not exist.
+    pub fn unit_excitation(&self, excited: SourceId) -> Result<Vec<Complex>, CircuitError> {
+        let position = self
+            .source_ids
+            .iter()
+            .position(|&id| id == excited.index())
+            .ok_or(CircuitError::UnknownSource { index: excited.index() })?;
+        let mut b = vec![Complex::ZERO; self.dim];
+        match &self.sources[position] {
+            SourceStamp::Voltage { row, .. } => {
+                b[*row] = Complex::ONE;
+            }
+            SourceStamp::Current { plus_row, minus_row, .. } => {
+                if let Some(p) = plus_row {
+                    b[*p] = Complex::ONE;
+                }
+                if let Some(m) = minus_row {
+                    b[*m] = b[*m] - Complex::ONE;
+                }
+            }
+        }
+        Ok(b)
+    }
+}
+
+/// Stamps a two-terminal admittance-like value into a matrix.
+fn stamp_conductance(m: &mut Matrix<f64>, plus: Option<usize>, minus: Option<usize>, value: f64) {
+    if let Some(p) = plus {
+        m.add_at(p, p, value);
+    }
+    if let Some(q) = minus {
+        m.add_at(q, q, value);
+    }
+    if let (Some(p), Some(q)) = (plus, minus) {
+        m.add_at(p, q, -value);
+        m.add_at(q, p, -value);
+    }
+}
+
+/// Stamps the incidence pattern of a branch-current unknown (voltage source or
+/// inductor) into `G`.
+fn stamp_branch_incidence(g: &mut Matrix<f64>, plus: Option<usize>, minus: Option<usize>, branch: usize) {
+    if let Some(p) = plus {
+        g.add_at(p, branch, 1.0);
+        g.add_at(branch, p, 1.0);
+    }
+    if let Some(q) = minus {
+        g.add_at(q, branch, -1.0);
+        g.add_at(branch, q, -1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_units::{Capacitance, Inductance, Resistance, Voltage};
+
+    fn simple_rc() -> (Circuit, NodeId, NodeId) {
+        // V(step) - R - node a - C - ground
+        let mut c = Circuit::new();
+        let input = c.add_node();
+        let a = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(input, a, Resistance::from_ohms(1000.0)).unwrap();
+        c.add_capacitor(a, gnd, Capacitance::from_picofarads(1.0)).unwrap();
+        (c, input, a)
+    }
+
+    #[test]
+    fn dimensions_count_branches() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        // 2 node unknowns + 1 voltage-source branch.
+        assert_eq!(mna.node_unknowns(), 2);
+        assert_eq!(mna.dim(), 3);
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(MnaSystem::build(&c), Err(CircuitError::EmptyCircuit)));
+    }
+
+    #[test]
+    fn resistor_stamp_is_symmetric() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_resistor(a, b, Resistance::from_ohms(500.0)).unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        let g = mna.g();
+        let conductance = 1.0 / 500.0;
+        assert!((g[(0, 0)] - conductance - GMIN).abs() < 1e-15);
+        assert!((g[(1, 1)] - conductance - GMIN).abs() < 1e-15);
+        assert!((g[(0, 1)] + conductance).abs() < 1e-15);
+        assert!((g[(1, 0)] + conductance).abs() < 1e-15);
+    }
+
+    #[test]
+    fn capacitor_stamps_into_storage_matrix() {
+        let (c, _, a) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let row = mna.row_of_node(a).unwrap();
+        assert!((mna.c()[(row, row)] - 1e-12).abs() < 1e-24);
+        // G at that node only has the resistor + GMIN.
+        assert!((mna.g()[(row, row)] - 1e-3 - GMIN).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inductor_gets_branch_row() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_inductor(a, b, Inductance::from_nanohenries(5.0)).unwrap();
+        c.add_resistor(b, gnd, Resistance::from_ohms(50.0)).unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        // 2 nodes + 2 branches (V source + inductor).
+        assert_eq!(mna.dim(), 4);
+        // Inductor branch is the last row; its C entry is -L.
+        assert!((mna.c()[(3, 3)] + 5e-9).abs() < 1e-20);
+        // Incidence of the inductor branch into its nodes.
+        assert_eq!(mna.g()[(0, 3)], 1.0);
+        assert_eq!(mna.g()[(1, 3)], -1.0);
+        assert_eq!(mna.g()[(3, 0)], 1.0);
+        assert_eq!(mna.g()[(3, 1)], -1.0);
+    }
+
+    #[test]
+    fn rhs_tracks_source_waveform() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let mut b = vec![0.0; mna.dim()];
+        mna.rhs_at(Time::ZERO, &mut b);
+        assert_eq!(b, vec![0.0, 0.0, 0.0]);
+        mna.rhs_at(Time::from_picoseconds(1.0), &mut b);
+        assert_eq!(b[2], 1.0);
+    }
+
+    #[test]
+    fn current_source_rhs() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let gnd = c.ground();
+        c.add_resistor(a, gnd, Resistance::from_ohms(100.0)).unwrap();
+        let src = c
+            .add_current_source(a, gnd, SourceWaveform::Dc { level: Voltage::from_volts(2e-3) })
+            .unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        let mut b = vec![0.0; mna.dim()];
+        mna.rhs_at(Time::ZERO, &mut b);
+        assert!((b[0] - 2e-3).abs() < 1e-15);
+        let ac = mna.unit_excitation(src).unwrap();
+        assert_eq!(ac[0], Complex::ONE);
+    }
+
+    #[test]
+    fn unit_excitation_selects_the_right_source() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let b = mna.unit_excitation(SourceId(0)).unwrap();
+        assert_eq!(b[2], Complex::ONE);
+        assert!(matches!(
+            mna.unit_excitation(SourceId(5)),
+            Err(CircuitError::UnknownSource { index: 5 })
+        ));
+    }
+
+    #[test]
+    fn complex_system_combines_g_and_c() {
+        let (c, _, a) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let s = Complex::new(0.0, 1e9);
+        let m = mna.complex_system(s);
+        let row = mna.row_of_node(a).unwrap();
+        let expected = Complex::new(1e-3 + GMIN, 1e9 * 1e-12);
+        assert!((m[(row, row)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_node_has_no_row() {
+        let (c, input, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        assert_eq!(mna.row_of_node(c.ground()), None);
+        assert_eq!(mna.row_of_node(input), Some(0));
+    }
+}

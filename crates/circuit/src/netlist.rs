@@ -1,0 +1,361 @@
+//! Circuit construction: nodes, elements and independent sources.
+//!
+//! A [`Circuit`] is a flat netlist of linear two-terminal elements. Nodes are
+//! created with [`Circuit::add_node`]; the ground node always exists and is
+//! returned by [`Circuit::ground`]. Element values are validated at insertion
+//! so analyses can assume well-formed data.
+
+use rlckit_units::{Capacitance, Inductance, Resistance};
+
+use crate::error::CircuitError;
+use crate::source::SourceWaveform;
+
+/// Identifier of a circuit node.
+///
+/// Index 0 is always the ground/reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index of the node (0 is ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of an independent source within a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceId(pub(crate) usize);
+
+impl SourceId {
+    /// Raw index of the source in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A resistor between two nodes.
+    Resistor {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Resistance value.
+        value: Resistance,
+    },
+    /// A capacitor between two nodes.
+    Capacitor {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Capacitance value.
+        value: Capacitance,
+    },
+    /// An inductor between two nodes. Its branch current becomes an MNA unknown.
+    Inductor {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Inductance value.
+        value: Inductance,
+    },
+    /// An independent voltage source. Its branch current becomes an MNA unknown.
+    VoltageSource {
+        /// Positive terminal.
+        plus: NodeId,
+        /// Negative terminal.
+        minus: NodeId,
+        /// Source identifier (for AC excitation selection).
+        source: SourceId,
+        /// Time-domain waveform.
+        waveform: SourceWaveform,
+    },
+    /// An independent current source flowing from `plus` through the source to `minus`.
+    CurrentSource {
+        /// Terminal the current leaves the source from (conventional current
+        /// is injected *into* this node).
+        plus: NodeId,
+        /// Terminal the current returns to the source at.
+        minus: NodeId,
+        /// Source identifier.
+        source: SourceId,
+        /// Time-domain waveform, interpreted in amperes (the `Voltage` payload
+        /// of the waveform is reused as a numeric level).
+        waveform: SourceWaveform,
+    },
+}
+
+/// A flat netlist of linear elements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    num_nodes: usize,
+    elements: Vec<Element>,
+    num_sources: usize,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Self { num_nodes: 1, elements: Vec::new(), num_sources: 0 }
+    }
+
+    /// The ground (reference) node.
+    pub fn ground(&self) -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Creates a new node and returns its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of independent sources.
+    pub fn source_count(&self) -> usize {
+        self.num_sources
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Returns `true` if the circuit has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), CircuitError> {
+        if node.0 < self.num_nodes {
+            Ok(())
+        } else {
+            Err(CircuitError::UnknownNode { index: node.0 })
+        }
+    }
+
+    fn check_positive(value: f64, what: &'static str) -> Result<(), CircuitError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(())
+        } else {
+            Err(CircuitError::InvalidValue { what, value })
+        }
+    }
+
+    /// Adds a resistor between `plus` and `minus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] if the resistance is not finite
+    /// and strictly positive, or [`CircuitError::UnknownNode`] for foreign nodes.
+    pub fn add_resistor(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        value: Resistance,
+    ) -> Result<(), CircuitError> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        Self::check_positive(value.ohms(), "resistance")?;
+        self.elements.push(Element::Resistor { plus, minus, value });
+        Ok(())
+    }
+
+    /// Adds a capacitor between `plus` and `minus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] if the capacitance is not finite
+    /// and strictly positive, or [`CircuitError::UnknownNode`] for foreign nodes.
+    pub fn add_capacitor(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        value: Capacitance,
+    ) -> Result<(), CircuitError> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        Self::check_positive(value.farads(), "capacitance")?;
+        self.elements.push(Element::Capacitor { plus, minus, value });
+        Ok(())
+    }
+
+    /// Adds an inductor between `plus` and `minus`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] if the inductance is not finite
+    /// and strictly positive, or [`CircuitError::UnknownNode`] for foreign nodes.
+    pub fn add_inductor(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        value: Inductance,
+    ) -> Result<(), CircuitError> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        Self::check_positive(value.henries(), "inductance")?;
+        self.elements.push(Element::Inductor { plus, minus, value });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source with the given waveform.
+    ///
+    /// Returns the [`SourceId`] used to select this source as the excitation
+    /// in AC analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for foreign nodes.
+    pub fn add_voltage_source(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<SourceId, CircuitError> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        let source = SourceId(self.num_sources);
+        self.num_sources += 1;
+        self.elements.push(Element::VoltageSource { plus, minus, source, waveform });
+        Ok(source)
+    }
+
+    /// Adds an independent current source with the given waveform
+    /// (amplitudes interpreted in amperes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for foreign nodes.
+    pub fn add_current_source(
+        &mut self,
+        plus: NodeId,
+        minus: NodeId,
+        waveform: SourceWaveform,
+    ) -> Result<SourceId, CircuitError> {
+        self.check_node(plus)?;
+        self.check_node(minus)?;
+        let source = SourceId(self.num_sources);
+        self.num_sources += 1;
+        self.elements.push(Element::CurrentSource { plus, minus, source, waveform });
+        Ok(source)
+    }
+
+    /// Validates that a node belongs to this circuit, for use by analyses.
+    pub(crate) fn validate_node(&self, node: NodeId) -> Result<(), CircuitError> {
+        self.check_node(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_units::Voltage;
+
+    #[test]
+    fn node_management() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node_count(), 1);
+        assert!(c.ground().is_ground());
+        let a = c.add_node();
+        let b = c.add_node();
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert!(!a.is_ground());
+        assert_eq!(c.node_count(), 3);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn element_insertion_and_validation() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let gnd = c.ground();
+        c.add_resistor(a, gnd, Resistance::from_ohms(100.0)).unwrap();
+        c.add_capacitor(a, gnd, Capacitance::from_picofarads(1.0)).unwrap();
+        c.add_inductor(a, gnd, Inductance::from_nanohenries(2.0)).unwrap();
+        assert_eq!(c.elements().len(), 3);
+        assert!(!c.is_empty());
+
+        assert!(matches!(
+            c.add_resistor(a, gnd, Resistance::from_ohms(0.0)),
+            Err(CircuitError::InvalidValue { what: "resistance", .. })
+        ));
+        assert!(matches!(
+            c.add_resistor(a, gnd, Resistance::from_ohms(-5.0)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            c.add_capacitor(a, gnd, Capacitance::from_farads(f64::NAN)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            c.add_inductor(a, gnd, Inductance::from_henries(f64::INFINITY)),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_nodes_are_rejected() {
+        let mut other = Circuit::new();
+        let foreign = other.add_node();
+        let _ = other.add_node();
+
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        // `foreign` has index 1 which exists in `c` too, so craft an index that doesn't.
+        let bogus = NodeId(99);
+        assert!(matches!(
+            c.add_resistor(a, bogus, Resistance::from_ohms(1.0)),
+            Err(CircuitError::UnknownNode { index: 99 })
+        ));
+        // An in-range foreign id is indistinguishable by design — document that.
+        assert!(c.add_resistor(a, foreign, Resistance::from_ohms(1.0)).is_ok());
+    }
+
+    #[test]
+    fn sources_get_sequential_ids() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let gnd = c.ground();
+        let s0 = c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        let s1 = c
+            .add_current_source(a, gnd, SourceWaveform::Dc { level: Voltage::from_volts(1e-3) })
+            .unwrap();
+        assert_eq!(s0.index(), 0);
+        assert_eq!(s1.index(), 1);
+        assert_eq!(c.source_count(), 2);
+    }
+
+    #[test]
+    fn default_is_empty_circuit_with_ground() {
+        let c = Circuit::default();
+        assert!(c.is_empty());
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.source_count(), 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Fixed-step transient analysis.
+//!
+//! The circuit is linear, so the time-discretised system matrix is constant
+//! and is factorised exactly once per run; every timestep is then a single
+//! forward/backward substitution. Two A-stable one-step integration methods
+//! are provided:
+//!
+//! * **Backward Euler** — first order, strongly damping (useful as a
+//!   cross-check; it artificially damps ringing);
+//! * **Trapezoidal** — second order, the default. It preserves the ringing of
+//!   underdamped RLC lines, which is essential when comparing against the
+//!   paper's inductance-dominated cases.
+
+use rlckit_numeric::lu::LuFactor;
+use rlckit_numeric::matrix::Matrix;
+use rlckit_units::{Time, Voltage};
+
+use crate::dc::operating_point_at;
+use crate::error::CircuitError;
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, NodeId};
+use crate::waveform::Waveform;
+
+/// Time-integration method for [`run_transient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// First-order backward Euler.
+    BackwardEuler,
+    /// Second-order trapezoidal rule (default).
+    #[default]
+    Trapezoidal,
+}
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// End time of the simulation (the run covers `[0, stop_time]`).
+    pub stop_time: Time,
+    /// Fixed integration timestep.
+    pub step: Time,
+    /// Integration method.
+    pub method: Integration,
+}
+
+impl TransientOptions {
+    /// Convenience constructor using the default (trapezoidal) method.
+    pub fn new(stop_time: Time, step: Time) -> Self {
+        Self { stop_time, step, method: Integration::Trapezoidal }
+    }
+
+    fn validate(&self) -> Result<(), CircuitError> {
+        if !(self.stop_time.seconds() > 0.0) || !self.stop_time.seconds().is_finite() {
+            return Err(CircuitError::InvalidAnalysis { reason: "stop time must be positive and finite" });
+        }
+        if !(self.step.seconds() > 0.0) || !self.step.seconds().is_finite() {
+            return Err(CircuitError::InvalidAnalysis { reason: "timestep must be positive and finite" });
+        }
+        if self.step.seconds() >= self.stop_time.seconds() {
+            return Err(CircuitError::InvalidAnalysis { reason: "timestep must be smaller than the stop time" });
+        }
+        let steps = self.stop_time.seconds() / self.step.seconds();
+        if steps > 50_000_000.0 {
+            return Err(CircuitError::InvalidAnalysis { reason: "too many timesteps (> 5e7); increase the step" });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a transient run: every MNA unknown at every timestep.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// One vector of samples per MNA unknown.
+    states: Vec<Vec<f64>>,
+    node_unknowns: usize,
+}
+
+impl TransientResult {
+    /// Sample times in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of timesteps (including the initial point).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if the result has no samples (never true for a
+    /// successful run).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage waveform of a node.
+    ///
+    /// Ground returns an all-zero waveform.
+    pub fn node_voltage(&self, node: NodeId) -> Waveform {
+        let values = if node.is_ground() {
+            vec![0.0; self.times.len()]
+        } else {
+            self.states[node.index() - 1].clone()
+        };
+        Waveform::from_samples(self.times.clone(), values)
+            .expect("transient sample grid is strictly increasing")
+    }
+
+    /// Final value of a node voltage.
+    pub fn final_node_voltage(&self, node: NodeId) -> Voltage {
+        if node.is_ground() {
+            Voltage::ZERO
+        } else {
+            Voltage::from_volts(*self.states[node.index() - 1].last().expect("non-empty run"))
+        }
+    }
+
+    /// Number of node-voltage unknowns stored.
+    pub fn node_unknown_count(&self) -> usize {
+        self.node_unknowns
+    }
+}
+
+/// Runs a fixed-step transient analysis over `[0, stop_time]`.
+///
+/// The initial condition is the DC operating point with sources evaluated at
+/// `t = 0`, so a step source that switches at `t = 0` starts the circuit from
+/// rest — the paper's setup.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidAnalysis`] for bad options,
+/// [`CircuitError::EmptyCircuit`] for an element-free circuit and
+/// [`CircuitError::SingularSystem`] if the discretised system cannot be
+/// factorised.
+pub fn run_transient(circuit: &Circuit, options: &TransientOptions) -> Result<TransientResult, CircuitError> {
+    options.validate()?;
+    let mna = MnaSystem::build(circuit)?;
+    let dim = mna.dim();
+    let dt = options.step.seconds();
+    let num_steps = (options.stop_time.seconds() / dt).ceil() as usize;
+
+    // Build the constant iteration matrix
+    //   BE:   (G + C/dt)        x_{n+1} = b_{n+1} + (C/dt) x_n
+    //   TRAP: (G/2 + C/dt)      x_{n+1} = (b_{n+1}+b_n)/2 + (C/dt - G/2) x_n
+    let g = mna.g();
+    let c = mna.c();
+    let mut lhs = Matrix::zeros(dim, dim);
+    let mut rhs_state = Matrix::zeros(dim, dim);
+    match options.method {
+        Integration::BackwardEuler => {
+            for i in 0..dim {
+                for j in 0..dim {
+                    lhs[(i, j)] = g[(i, j)] + c[(i, j)] / dt;
+                    rhs_state[(i, j)] = c[(i, j)] / dt;
+                }
+            }
+        }
+        Integration::Trapezoidal => {
+            for i in 0..dim {
+                for j in 0..dim {
+                    lhs[(i, j)] = 0.5 * g[(i, j)] + c[(i, j)] / dt;
+                    rhs_state[(i, j)] = c[(i, j)] / dt - 0.5 * g[(i, j)];
+                }
+            }
+        }
+    }
+    let factor =
+        LuFactor::new(&lhs).map_err(|_| CircuitError::SingularSystem { stage: "transient analysis" })?;
+
+    // Initial condition: DC operating point at t = 0.
+    let mut state = operating_point_at(circuit, Time::ZERO)?.state().to_vec();
+    debug_assert_eq!(state.len(), dim);
+
+    let mut times = Vec::with_capacity(num_steps + 1);
+    let mut states: Vec<Vec<f64>> = vec![Vec::with_capacity(num_steps + 1); dim];
+    times.push(0.0);
+    for (k, series) in states.iter_mut().enumerate() {
+        series.push(state[k]);
+    }
+
+    let mut b_prev = vec![0.0; dim];
+    let mut b_next = vec![0.0; dim];
+    mna.rhs_at(Time::ZERO, &mut b_prev);
+
+    for n in 1..=num_steps {
+        let t = n as f64 * dt;
+        mna.rhs_at(Time::from_seconds(t), &mut b_next);
+
+        // rhs = source term + memory of the previous state.
+        let memory = rhs_state.mul_vec(&state);
+        let mut rhs = vec![0.0; dim];
+        match options.method {
+            Integration::BackwardEuler => {
+                for i in 0..dim {
+                    rhs[i] = b_next[i] + memory[i];
+                }
+            }
+            Integration::Trapezoidal => {
+                for i in 0..dim {
+                    rhs[i] = 0.5 * (b_next[i] + b_prev[i]) + memory[i];
+                }
+            }
+        }
+        state = factor.solve(&rhs);
+        times.push(t);
+        for (k, series) in states.iter_mut().enumerate() {
+            series.push(state[k]);
+        }
+        std::mem::swap(&mut b_prev, &mut b_next);
+    }
+
+    Ok(TransientResult { times, states, node_unknowns: mna.node_unknowns() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceWaveform;
+    use rlckit_units::{Capacitance, Inductance, Resistance};
+
+    /// Step-driven RC low-pass: analytic response 1 − e^{−t/RC}.
+    fn rc_circuit() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let input = c.add_node();
+        let out = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(input, out, Resistance::from_ohms(1000.0)).unwrap();
+        c.add_capacitor(out, gnd, Capacitance::from_picofarads(1.0)).unwrap();
+        (c, out)
+    }
+
+    /// Series RLC driven by a step; underdamped for the chosen values.
+    fn rlc_circuit() -> (Circuit, NodeId, f64, f64) {
+        let r = 20.0;
+        let l = 10e-9;
+        let cap = 1e-12;
+        let mut c = Circuit::new();
+        let input = c.add_node();
+        let mid = c.add_node();
+        let out = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(input, mid, Resistance::from_ohms(r)).unwrap();
+        c.add_inductor(mid, out, Inductance::from_henries(l)).unwrap();
+        c.add_capacitor(out, gnd, Capacitance::from_farads(cap)).unwrap();
+        let zeta = r / 2.0 * (cap / l).sqrt();
+        let wn = 1.0 / (l * cap).sqrt();
+        (c, out, zeta, wn)
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let (c, out) = rc_circuit();
+        let tau = 1e-9; // RC = 1 kΩ × 1 pF
+        let options = TransientOptions::new(
+            Time::from_seconds(5.0 * tau),
+            Time::from_seconds(tau / 1000.0),
+        );
+        let result = run_transient(&c, &options).unwrap();
+        let w = result.node_voltage(out);
+        for &frac in &[0.5, 1.0, 2.0, 4.0] {
+            let t = frac * tau;
+            let got = w.value_at(Time::from_seconds(t)).unwrap().volts();
+            let want = 1.0 - (-t / tau).exp();
+            assert!((got - want).abs() < 2e-3, "t/τ = {frac}: got {got}, want {want}");
+        }
+        // 50% delay of an RC low-pass is ln 2 · τ ≈ 0.693 ns.
+        let d = w.delay_50(Voltage::from_volts(1.0)).unwrap();
+        assert!((d.seconds() - tau * std::f64::consts::LN_2).abs() < 5e-12);
+    }
+
+    #[test]
+    fn backward_euler_also_converges_for_rc() {
+        let (c, out) = rc_circuit();
+        let tau = 1e-9;
+        let options = TransientOptions {
+            stop_time: Time::from_seconds(5.0 * tau),
+            step: Time::from_seconds(tau / 2000.0),
+            method: Integration::BackwardEuler,
+        };
+        let result = run_transient(&c, &options).unwrap();
+        let got = result
+            .node_voltage(out)
+            .value_at(Time::from_seconds(tau))
+            .unwrap()
+            .volts();
+        let want = 1.0 - (-1.0f64).exp();
+        assert!((got - want).abs() < 5e-3, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn rlc_step_response_matches_analytic_second_order() {
+        let (c, out, zeta, wn) = rlc_circuit();
+        assert!(zeta < 1.0, "test circuit should be underdamped");
+        let t_end = 20.0 / wn;
+        let options = TransientOptions::new(
+            Time::from_seconds(t_end),
+            Time::from_seconds(t_end / 20_000.0),
+        );
+        let result = run_transient(&c, &options).unwrap();
+        let w = result.node_voltage(out);
+        let wd = wn * (1.0 - zeta * zeta).sqrt();
+        for &frac in &[0.1, 0.3, 0.5, 0.8] {
+            let t = frac * t_end;
+            let got = w.value_at(Time::from_seconds(t)).unwrap().volts();
+            let want = 1.0
+                - (-zeta * wn * t).exp()
+                    * ((wd * t).cos() + zeta * wn / wd * (wd * t).sin());
+            assert!((got - want).abs() < 5e-3, "t = {t}: got {got}, want {want}");
+        }
+        // The response of an underdamped circuit must overshoot.
+        assert!(w.overshoot_percent(Voltage::from_volts(1.0)) > 10.0);
+    }
+
+    #[test]
+    fn final_value_reaches_supply() {
+        let (c, out) = rc_circuit();
+        let options = TransientOptions::new(Time::from_nanoseconds(20.0), Time::from_picoseconds(5.0));
+        let result = run_transient(&c, &options).unwrap();
+        assert!((result.final_node_voltage(out).volts() - 1.0).abs() < 1e-6);
+        assert!(result.len() > 100);
+        assert!(!result.is_empty());
+        assert_eq!(result.node_unknown_count(), 2);
+        // Ground waveform is identically zero.
+        let gnd_wave = result.node_voltage(c.ground());
+        assert!(gnd_wave.values().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let (c, _) = rc_circuit();
+        let bad_stop = TransientOptions::new(Time::ZERO, Time::from_picoseconds(1.0));
+        assert!(matches!(
+            run_transient(&c, &bad_stop),
+            Err(CircuitError::InvalidAnalysis { .. })
+        ));
+        let bad_step = TransientOptions::new(Time::from_nanoseconds(1.0), Time::ZERO);
+        assert!(matches!(
+            run_transient(&c, &bad_step),
+            Err(CircuitError::InvalidAnalysis { .. })
+        ));
+        let step_too_large =
+            TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_nanoseconds(2.0));
+        assert!(matches!(
+            run_transient(&c, &step_too_large),
+            Err(CircuitError::InvalidAnalysis { .. })
+        ));
+        let too_many = TransientOptions::new(Time::from_seconds(1.0), Time::from_picoseconds(1.0));
+        assert!(matches!(
+            run_transient(&c, &too_many),
+            Err(CircuitError::InvalidAnalysis { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let c = Circuit::new();
+        let options = TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_picoseconds(1.0));
+        assert!(matches!(run_transient(&c, &options), Err(CircuitError::EmptyCircuit)));
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        let (c, out, zeta, wn) = rlc_circuit();
+        let t_end = 10.0 / wn;
+        let dt = t_end / 2000.0;
+        let wd = wn * (1.0 - zeta * zeta).sqrt();
+        let analytic = |t: f64| {
+            1.0 - (-zeta * wn * t).exp() * ((wd * t).cos() + zeta * wn / wd * (wd * t).sin())
+        };
+        let sample_t = 0.4 * t_end;
+
+        let mut errors = Vec::new();
+        for method in [Integration::Trapezoidal, Integration::BackwardEuler] {
+            let options = TransientOptions {
+                stop_time: Time::from_seconds(t_end),
+                step: Time::from_seconds(dt),
+                method,
+            };
+            let result = run_transient(&c, &options).unwrap();
+            let got = result
+                .node_voltage(out)
+                .value_at(Time::from_seconds(sample_t))
+                .unwrap()
+                .volts();
+            errors.push((got - analytic(sample_t)).abs());
+        }
+        assert!(
+            errors[0] < errors[1],
+            "trapezoidal error {} should beat backward Euler {}",
+            errors[0],
+            errors[1]
+        );
+    }
+}

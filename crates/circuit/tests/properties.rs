@@ -1,0 +1,124 @@
+//! Property-based tests of the circuit simulator.
+//!
+//! Random (but physically sensible) driven RLC ladders must obey the physics
+//! no matter which parameters are drawn: the output settles to the supply,
+//! the 50% delay is positive and no smaller than (almost) the time of flight,
+//! AC analysis at `s = 0` reproduces the DC gain, and the delay measured by
+//! the transient solver is consistent with the exact frequency-domain answer
+//! at low frequency.
+
+use proptest::prelude::*;
+
+use rlckit_circuit::ac::transfer_function;
+use rlckit_circuit::dc::operating_point_at;
+use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
+use rlckit_circuit::netlist::Circuit;
+use rlckit_circuit::source::SourceWaveform;
+use rlckit_numeric::complex::Complex;
+use rlckit_units::{Capacitance, Inductance, Resistance, Time, Voltage};
+
+/// A physically plausible driven line:
+/// Rt ∈ [10 Ω, 5 kΩ], Lt ∈ [0.1, 50] nH, Ct ∈ [0.1, 2] pF,
+/// Rtr ∈ [0, 1 kΩ], CL ∈ [0, 1] pF.
+fn arb_spec() -> impl Strategy<Value = LadderSpec> {
+    (
+        10.0f64..5e3,
+        1e-10f64..5e-8,
+        1e-13f64..2e-12,
+        0.0f64..1e3,
+        0.0f64..1e-12,
+    )
+        .prop_map(|(rt, lt, ct, rtr, cl)| LadderSpec {
+            total_resistance: Resistance::from_ohms(rt),
+            total_inductance: Inductance::from_henries(lt),
+            total_capacitance: Capacitance::from_farads(ct),
+            segments: 25,
+            style: SegmentStyle::Pi,
+            driver_resistance: Resistance::from_ohms(rtr),
+            load_capacitance: Capacitance::from_farads(cl),
+            supply: Voltage::from_volts(1.0),
+        })
+}
+
+proptest! {
+    // Transient simulations are comparatively expensive; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn step_response_delay_is_physical(spec in arb_spec()) {
+        let m = measure_step_delay(&spec).expect("simulation runs");
+        let tof = (spec.total_inductance.henries()
+            * (spec.total_capacitance.farads() + spec.load_capacitance.farads()))
+        .sqrt();
+        prop_assert!(m.delay_50.seconds() > 0.0);
+        // The signal can never beat (much of) the wave time of flight.
+        prop_assert!(
+            m.delay_50.seconds() > 0.5 * tof,
+            "delay {} beat the time of flight {}",
+            m.delay_50.seconds(),
+            tof
+        );
+        prop_assert!(m.rise_time.seconds() > 0.0);
+        prop_assert!(m.overshoot_percent >= 0.0 && m.overshoot_percent < 120.0);
+    }
+
+    #[test]
+    fn dc_gain_is_unity_for_any_ladder(spec in arb_spec()) {
+        let line = spec.build().expect("builds");
+        // At (numerically) zero frequency the line passes DC: gain 1 to the far end.
+        let h = transfer_function(&line.circuit, line.source, line.output, Complex::new(1.0, 0.0))
+            .expect("solvable");
+        prop_assert!((h.re - 1.0).abs() < 1e-3, "near-DC gain {}", h.re);
+        prop_assert!(h.im.abs() < 1e-3);
+    }
+
+    #[test]
+    fn dc_operating_point_tracks_the_source_value(spec in arb_spec(), when_ps in 1.0f64..1000.0) {
+        // After the step has fired, the DC solution of the (resistive) network
+        // puts the far end at the full supply: capacitors are open, inductors short.
+        let line = spec.build().expect("builds");
+        let dc = operating_point_at(&line.circuit, Time::from_picoseconds(when_ps))
+            .expect("solvable");
+        prop_assert!((dc.node_voltage(line.output).volts() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn series_rc_delay_matches_theory_for_random_values(
+        r_ohms in 10.0f64..10e3,
+        c_farads in 1e-14f64..1e-11,
+    ) {
+        // Lumped RC low-pass: 50% delay is exactly ln(2)·RC; the simulator must
+        // reproduce it for any drawn component values.
+        let mut circuit = Circuit::new();
+        let input = circuit.add_node();
+        let out = circuit.add_node();
+        let gnd = circuit.ground();
+        circuit
+            .add_voltage_source(input, gnd, SourceWaveform::unit_step())
+            .expect("valid");
+        circuit
+            .add_resistor(input, out, Resistance::from_ohms(r_ohms))
+            .expect("valid");
+        circuit
+            .add_capacitor(out, gnd, Capacitance::from_farads(c_farads))
+            .expect("valid");
+
+        let tau = r_ohms * c_farads;
+        let options = rlckit_circuit::transient::TransientOptions::new(
+            Time::from_seconds(6.0 * tau),
+            Time::from_seconds(tau / 500.0),
+        );
+        let result = rlckit_circuit::transient::run_transient(&circuit, &options).expect("runs");
+        let delay = result
+            .node_voltage(out)
+            .delay_50(Voltage::from_volts(1.0))
+            .expect("crosses");
+        let expected = std::f64::consts::LN_2 * tau;
+        prop_assert!(
+            (delay.seconds() - expected).abs() / expected < 0.01,
+            "delay {} vs ln2·RC {}",
+            delay.seconds(),
+            expected
+        );
+    }
+}

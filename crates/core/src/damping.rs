@@ -1,0 +1,79 @@
+//! Damping classification of the driven-line response.
+//!
+//! The parameter `ζ` of Eq. (6) plays the role of a damping factor: small `ζ`
+//! means inductance dominates and the response rings (overshoots), large `ζ`
+//! means resistance dominates and the response is the familiar monotone RC
+//! rise. Table 1 of the paper deliberately spans both regimes; this module
+//! names them.
+
+use crate::load::GateRlcLoad;
+
+/// Qualitative damping regime of a gate-driven RLC line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DampingRegime {
+    /// `ζ < 1`: inductance-dominated, the response overshoots and rings.
+    Underdamped,
+    /// `ζ ≈ 1` (within ±5%): fastest monotone-ish settling.
+    CriticallyDamped,
+    /// `ζ > 1`: resistance-dominated, monotone RC-like response.
+    Overdamped,
+}
+
+impl DampingRegime {
+    /// Classifies a damping factor.
+    pub fn from_zeta(zeta: f64) -> Self {
+        if zeta < 0.95 {
+            Self::Underdamped
+        } else if zeta <= 1.05 {
+            Self::CriticallyDamped
+        } else {
+            Self::Overdamped
+        }
+    }
+
+    /// Classifies a gate-driven RLC load.
+    pub fn of(load: &GateRlcLoad) -> Self {
+        Self::from_zeta(load.zeta())
+    }
+
+    /// Returns `true` if the response is expected to overshoot the supply.
+    pub fn overshoots(self) -> bool {
+        matches!(self, Self::Underdamped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_units::{Capacitance, Inductance, Resistance};
+
+    fn load_with_inductance(lt: f64) -> GateRlcLoad {
+        GateRlcLoad::new(
+            Resistance::from_ohms(500.0),
+            Inductance::from_henries(lt),
+            Capacitance::from_picofarads(1.0),
+            Resistance::from_ohms(100.0),
+            Capacitance::from_femtofarads(100.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn classification_thresholds() {
+        assert_eq!(DampingRegime::from_zeta(0.2), DampingRegime::Underdamped);
+        assert_eq!(DampingRegime::from_zeta(1.0), DampingRegime::CriticallyDamped);
+        assert_eq!(DampingRegime::from_zeta(0.97), DampingRegime::CriticallyDamped);
+        assert_eq!(DampingRegime::from_zeta(3.0), DampingRegime::Overdamped);
+        assert!(DampingRegime::from_zeta(0.2).overshoots());
+        assert!(!DampingRegime::from_zeta(3.0).overshoots());
+        assert!(!DampingRegime::from_zeta(1.0).overshoots());
+    }
+
+    #[test]
+    fn more_inductance_means_less_damping() {
+        let high_l = load_with_inductance(1e-5);
+        let low_l = load_with_inductance(1e-9);
+        assert_eq!(DampingRegime::of(&high_l), DampingRegime::Underdamped);
+        assert_eq!(DampingRegime::of(&low_l), DampingRegime::Overdamped);
+    }
+}

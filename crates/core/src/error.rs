@@ -1,0 +1,49 @@
+//! Error type for the delay-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by delay-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An impedance value is non-positive (or negative where zero is allowed)
+    /// or not finite.
+    InvalidImpedance {
+        /// Which impedance was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An analytic response could not be evaluated (e.g. the 50% crossing was
+    /// never bracketed).
+    Evaluation {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidImpedance { what, value } => write!(f, "invalid {what}: {value}"),
+            Self::Evaluation { reason } => write!(f, "delay-model evaluation failed: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::InvalidImpedance { what: "total resistance", value: -1.0 }
+            .to_string()
+            .contains("total resistance"));
+        assert!(CoreError::Evaluation { reason: "no crossing".into() }
+            .to_string()
+            .contains("no crossing"));
+    }
+}

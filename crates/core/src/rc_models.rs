@@ -1,0 +1,122 @@
+//! Classical RC delay baselines.
+//!
+//! These are the models an RC-only flow would use for the same circuit; the
+//! paper's Table 1 and repeater analysis quantify how far they drift from the
+//! true RLC behaviour. All of them ignore `Lt` entirely.
+//!
+//! * [`elmore_delay`] — the first moment of the impulse response,
+//!   `Rtr(Ct+CL) + Rt(Ct/2+CL)`; a pessimistic bound for the 50% delay of RC
+//!   trees and the basis of most timing engines.
+//! * [`sakurai_delay`] — Sakurai's 50% fit for a driven distributed RC line,
+//!   `0.377·Rt·Ct + 0.693(Rtr·Ct + Rtr·CL + Rt·CL)`.
+//! * [`lumped_rc_delay`] — the single-pole lumped estimate
+//!   `0.693·(Rtr+Rt)(Ct+CL)`, the crudest of the three.
+//! * [`rc_limit_of_closed_form`] — the `L → 0` limit of the paper's Eq. (9)
+//!   (re-exported from [`crate::model`] for discoverability).
+
+use rlckit_units::Time;
+
+use crate::load::GateRlcLoad;
+pub use crate::model::rc_limit_delay as rc_limit_of_closed_form;
+
+/// Elmore delay `Rtr(Ct + CL) + Rt(Ct/2 + CL)` of the driven RC line.
+pub fn elmore_delay(load: &GateRlcLoad) -> Time {
+    rlckit_interconnect::moments::elmore_delay(
+        load.total_resistance(),
+        load.total_capacitance(),
+        load.driver_resistance(),
+        load.load_capacitance(),
+    )
+}
+
+/// Sakurai's 50% delay fit for a gate driving a distributed RC line:
+/// `0.377·Rt·Ct + 0.693·(Rtr·Ct + Rtr·CL + Rt·CL)`.
+pub fn sakurai_delay(load: &GateRlcLoad) -> Time {
+    let rt = load.total_resistance().ohms();
+    let ct = load.total_capacitance().farads();
+    let rtr = load.driver_resistance().ohms();
+    let cl = load.load_capacitance().farads();
+    Time::from_seconds(0.377 * rt * ct + 0.693 * (rtr * ct + rtr * cl + rt * cl))
+}
+
+/// Lumped single-pole RC estimate `0.693·(Rtr + Rt)·(Ct + CL)`.
+pub fn lumped_rc_delay(load: &GateRlcLoad) -> Time {
+    let rt = load.total_resistance().ohms();
+    let ct = load.total_capacitance().farads();
+    let rtr = load.driver_resistance().ohms();
+    let cl = load.load_capacitance().farads();
+    Time::from_seconds(0.693 * (rtr + rt) * (ct + cl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::propagation_delay;
+    use rlckit_units::{Capacitance, Inductance, Resistance};
+
+    fn load(rt: f64, lt: f64, ct: f64, rtr: f64, cl: f64) -> GateRlcLoad {
+        GateRlcLoad::new(
+            Resistance::from_ohms(rt),
+            Inductance::from_henries(lt),
+            Capacitance::from_farads(ct),
+            Resistance::from_ohms(rtr),
+            Capacitance::from_farads(cl),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn formulas_match_hand_calculations() {
+        let l = load(1000.0, 1e-8, 1e-12, 500.0, 0.2e-12);
+        let elmore = elmore_delay(&l).seconds();
+        assert!((elmore - (500.0 * 1.2e-12 + 1000.0 * 0.7e-12)).abs() < 1e-18);
+        let sakurai = sakurai_delay(&l).seconds();
+        let expected = 0.377 * 1e-9 + 0.693 * (500.0 * 1e-12 + 500.0 * 0.2e-12 + 1000.0 * 0.2e-12);
+        assert!((sakurai - expected).abs() < 1e-18);
+        let lumped = lumped_rc_delay(&l).seconds();
+        assert!((lumped - 0.693 * 1500.0 * 1.2e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rc_baselines_ignore_inductance() {
+        let low_l = load(1000.0, 1e-9, 1e-12, 500.0, 0.2e-12);
+        let high_l = load(1000.0, 1e-5, 1e-12, 500.0, 0.2e-12);
+        assert_eq!(elmore_delay(&low_l), elmore_delay(&high_l));
+        assert_eq!(sakurai_delay(&low_l), sakurai_delay(&high_l));
+        assert_eq!(lumped_rc_delay(&low_l), lumped_rc_delay(&high_l));
+    }
+
+    #[test]
+    fn rc_baselines_agree_with_closed_form_when_inductance_is_negligible() {
+        // With L → 0 the paper's model and Sakurai's fit describe the same circuit.
+        let l = load(1000.0, 1e-15, 1e-12, 500.0, 0.2e-12);
+        let closed_form = propagation_delay(&l).seconds();
+        let sakurai = sakurai_delay(&l).seconds();
+        let diff = (closed_form - sakurai).abs() / sakurai;
+        assert!(diff < 0.08, "closed form {closed_form} vs Sakurai {sakurai}");
+        // The RC limit helper matches the closed form exactly in this regime.
+        let limit = rc_limit_of_closed_form(&l).seconds();
+        assert!((closed_form - limit).abs() / limit < 0.01);
+    }
+
+    #[test]
+    fn rc_models_underestimate_delay_of_fast_inductive_lines() {
+        // A wide, low-resistance line: the RC models predict an (unphysically)
+        // tiny delay, but the signal still needs the wave time of flight. This
+        // is the other face of ignoring inductance: RC is not conservative.
+        let l = load(100.0, 1e-7, 1e-12, 0.0, 0.0);
+        let rlc = propagation_delay(&l).seconds();
+        let tof = (1e-7f64 * 1e-12).sqrt();
+        assert!(rlc >= 0.9 * tof);
+        assert!(sakurai_delay(&l).seconds() < rlc);
+        assert!(elmore_delay(&l).seconds() < rlc);
+    }
+
+    #[test]
+    fn elmore_is_an_upper_bound_among_rc_models_for_driver_dominated_nets() {
+        // With a big driver the Elmore delay exceeds Sakurai's 50% estimate
+        // (0.693 < 1.0 weighting of the driver term).
+        let l = load(100.0, 1e-9, 1e-12, 5000.0, 0.2e-12);
+        assert!(elmore_delay(&l) > sakurai_delay(&l));
+    }
+}

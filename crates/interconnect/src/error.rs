@@ -1,0 +1,47 @@
+//! Error type for interconnect modelling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by interconnect model construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterconnectError {
+    /// A physical parameter is non-positive or not finite.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A derived computation failed (e.g. a crossing was never found).
+    Analysis {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for InterconnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { what, value } => write!(f, "invalid {what}: {value}"),
+            Self::Analysis { reason } => write!(f, "interconnect analysis failed: {reason}"),
+        }
+    }
+}
+
+impl Error for InterconnectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(InterconnectError::InvalidParameter { what: "length", value: -1.0 }
+            .to_string()
+            .contains("length"));
+        assert!(InterconnectError::Analysis { reason: "no crossing".into() }
+            .to_string()
+            .contains("no crossing"));
+    }
+}

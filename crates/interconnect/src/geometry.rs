@@ -1,0 +1,245 @@
+//! Per-unit-length parasitic extraction from wire geometry.
+//!
+//! The paper takes per-unit-length `R`, `L`, `C` as given (from ref. [7]);
+//! this module provides a simple quasi-TEM extractor so examples can start
+//! from physical wire dimensions instead of raw parasitics:
+//!
+//! * **Resistance** — `ρ / (w·t)`, the DC sheet formula (no skin effect).
+//! * **Capacitance** — the Sakurai–Tamaru empirical fit for a single wire over
+//!   a ground plane, `C = ε [ 1.15 (w/h) + 2.80 (t/h)^0.222 ]`.
+//! * **Inductance** — from the quasi-TEM identity `L·C_air = μ0·ε0`, where
+//!   `C_air` is the same capacitance formula evaluated with `εr = 1`. This ties
+//!   the loop inductance to the return path assumed by the capacitance model,
+//!   which is the right level of fidelity for the paper's experiments.
+//!
+//! All formulas are documented approximations; DESIGN.md lists them as part of
+//! the substitution for the paper's (unpublished) extraction setup.
+
+use rlckit_units::{CapacitancePerLength, InductancePerLength, Length, ResistancePerLength};
+
+use crate::error::InterconnectError;
+
+/// Vacuum permittivity in farads per metre.
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
+/// Vacuum permeability in henries per metre.
+pub const MU_0: f64 = 1.256_637_062_12e-6;
+/// Resistivity of copper at room temperature, in ohm-metres.
+pub const RHO_COPPER: f64 = 1.68e-8;
+/// Resistivity of aluminium at room temperature, in ohm-metres.
+pub const RHO_ALUMINUM: f64 = 2.65e-8;
+/// Relative permittivity of silicon dioxide.
+pub const EPS_R_SIO2: f64 = 3.9;
+
+/// Cross-sectional geometry of an on-chip wire above a return plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGeometry {
+    /// Wire width.
+    pub width: Length,
+    /// Wire (metal) thickness.
+    pub thickness: Length,
+    /// Dielectric height between the wire bottom and the return plane.
+    pub height: Length,
+    /// Metal resistivity in ohm-metres.
+    pub resistivity: f64,
+    /// Relative permittivity of the surrounding dielectric.
+    pub dielectric_constant: f64,
+}
+
+impl WireGeometry {
+    /// A copper wire in SiO₂ with the given width, thickness and height.
+    pub fn copper_in_oxide(width: Length, thickness: Length, height: Length) -> Self {
+        Self {
+            width,
+            thickness,
+            height,
+            resistivity: RHO_COPPER,
+            dielectric_constant: EPS_R_SIO2,
+        }
+    }
+
+    /// An aluminium wire in SiO₂ with the given width, thickness and height.
+    pub fn aluminum_in_oxide(width: Length, thickness: Length, height: Length) -> Self {
+        Self {
+            width,
+            thickness,
+            height,
+            resistivity: RHO_ALUMINUM,
+            dielectric_constant: EPS_R_SIO2,
+        }
+    }
+
+    fn validate(&self) -> Result<(), InterconnectError> {
+        let check = |v: f64, what: &'static str| -> Result<(), InterconnectError> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(InterconnectError::InvalidParameter { what, value: v })
+            }
+        };
+        check(self.width.meters(), "wire width")?;
+        check(self.thickness.meters(), "wire thickness")?;
+        check(self.height.meters(), "dielectric height")?;
+        check(self.resistivity, "resistivity")?;
+        check(self.dielectric_constant, "dielectric constant")?;
+        Ok(())
+    }
+
+    /// DC resistance per unit length, `ρ / (w·t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidParameter`] for non-positive dimensions.
+    pub fn resistance_per_length(&self) -> Result<ResistancePerLength, InterconnectError> {
+        self.validate()?;
+        let area = self.width.meters() * self.thickness.meters();
+        Ok(ResistancePerLength::from_ohms_per_meter(self.resistivity / area))
+    }
+
+    /// Capacitance per unit length with the configured dielectric constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidParameter`] for non-positive dimensions.
+    pub fn capacitance_per_length(&self) -> Result<CapacitancePerLength, InterconnectError> {
+        self.validate()?;
+        Ok(CapacitancePerLength::from_farads_per_meter(
+            self.capacitance_with_er(self.dielectric_constant),
+        ))
+    }
+
+    /// Inductance per unit length from the quasi-TEM identity `L = μ0·ε0 / C_air`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidParameter`] for non-positive dimensions.
+    pub fn inductance_per_length(&self) -> Result<InductancePerLength, InterconnectError> {
+        self.validate()?;
+        let c_air = self.capacitance_with_er(1.0);
+        Ok(InductancePerLength::from_henries_per_meter(MU_0 * EPSILON_0 / c_air))
+    }
+
+    /// All three per-unit-length parasitics in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidParameter`] for non-positive dimensions.
+    pub fn extract(
+        &self,
+    ) -> Result<(ResistancePerLength, InductancePerLength, CapacitancePerLength), InterconnectError>
+    {
+        Ok((
+            self.resistance_per_length()?,
+            self.inductance_per_length()?,
+            self.capacitance_per_length()?,
+        ))
+    }
+
+    /// Sakurai–Tamaru single-wire-over-plane capacitance with an explicit `εr`.
+    fn capacitance_with_er(&self, er: f64) -> f64 {
+        let w = self.width.meters();
+        let t = self.thickness.meters();
+        let h = self.height.meters();
+        EPSILON_0 * er * (1.15 * (w / h) + 2.80 * (t / h).powf(0.222))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wide_clock_wire() -> WireGeometry {
+        // A wide upper-metal clock wire: 4 µm wide, 1 µm thick, 2 µm over the plane.
+        WireGeometry::copper_in_oxide(
+            Length::from_micrometers(4.0),
+            Length::from_micrometers(1.0),
+            Length::from_micrometers(2.0),
+        )
+    }
+
+    #[test]
+    fn resistance_matches_sheet_formula() {
+        let g = wide_clock_wire();
+        let r = g.resistance_per_length().unwrap();
+        let expected = RHO_COPPER / (4e-6 * 1e-6);
+        assert!((r.ohms_per_meter() - expected).abs() / expected < 1e-12);
+        // Sanity: a few Ω/mm for a wide copper wire.
+        assert!(r.ohms_per_millimeter() > 1.0 && r.ohms_per_millimeter() < 10.0);
+    }
+
+    #[test]
+    fn capacitance_is_in_the_expected_range() {
+        let g = wide_clock_wire();
+        let c = g.capacitance_per_length().unwrap();
+        // On-chip wires run on the order of 0.1–0.3 fF/µm.
+        let ff_per_um = c.femtofarads_per_micrometer();
+        assert!(ff_per_um > 0.05 && ff_per_um < 0.5, "C = {ff_per_um} fF/µm");
+    }
+
+    #[test]
+    fn inductance_is_in_the_expected_range() {
+        let g = wide_clock_wire();
+        let l = g.inductance_per_length().unwrap();
+        // On-chip wires have ~0.2–1 nH/mm of loop inductance.
+        let nh_per_mm = l.nanohenries_per_millimeter();
+        assert!(nh_per_mm > 0.1 && nh_per_mm < 2.0, "L = {nh_per_mm} nH/mm");
+    }
+
+    #[test]
+    fn quasi_tem_identity_holds() {
+        let g = wide_clock_wire();
+        let l = g.inductance_per_length().unwrap().henries_per_meter();
+        let c_air = g.capacitance_with_er(1.0);
+        assert!((l * c_air - MU_0 * EPSILON_0).abs() / (MU_0 * EPSILON_0) < 1e-12);
+        // Propagation velocity on the line is c0/sqrt(εr).
+        let c_er = g.capacitance_per_length().unwrap().farads_per_meter();
+        let v = 1.0 / (l * c_er).sqrt();
+        let c0 = 1.0 / (MU_0 * EPSILON_0).sqrt();
+        assert!((v - c0 / EPS_R_SIO2.sqrt()).abs() / v < 1e-9);
+    }
+
+    #[test]
+    fn aluminum_is_more_resistive_than_copper() {
+        let cu = wide_clock_wire();
+        let al = WireGeometry::aluminum_in_oxide(cu.width, cu.thickness, cu.height);
+        assert!(
+            al.resistance_per_length().unwrap().ohms_per_meter()
+                > cu.resistance_per_length().unwrap().ohms_per_meter()
+        );
+    }
+
+    #[test]
+    fn narrower_wire_has_more_resistance_and_less_capacitance() {
+        let wide = wide_clock_wire();
+        let narrow = WireGeometry::copper_in_oxide(
+            Length::from_micrometers(0.5),
+            wide.thickness,
+            wide.height,
+        );
+        assert!(
+            narrow.resistance_per_length().unwrap().ohms_per_meter()
+                > wide.resistance_per_length().unwrap().ohms_per_meter()
+        );
+        assert!(
+            narrow.capacitance_per_length().unwrap().farads_per_meter()
+                < wide.capacitance_per_length().unwrap().farads_per_meter()
+        );
+        // Narrower wire ⇒ larger inductance (smaller air capacitance).
+        assert!(
+            narrow.inductance_per_length().unwrap().henries_per_meter()
+                > wide.inductance_per_length().unwrap().henries_per_meter()
+        );
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let mut g = wide_clock_wire();
+        g.width = Length::ZERO;
+        assert!(g.extract().is_err());
+        let mut g = wide_clock_wire();
+        g.resistivity = -1.0;
+        assert!(g.resistance_per_length().is_err());
+        let mut g = wide_clock_wire();
+        g.dielectric_constant = f64::NAN;
+        assert!(g.capacitance_per_length().is_err());
+    }
+}

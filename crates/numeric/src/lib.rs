@@ -1,0 +1,46 @@
+//! Numerical-methods substrate for the `rlckit` workspace.
+//!
+//! Everything the rest of the workspace needs that is "just math" lives here,
+//! implemented from scratch on top of `std`:
+//!
+//! * [`complex`] — a small `Complex` type (the workspace avoids external
+//!   numerics crates);
+//! * [`matrix`] / [`lu`] — dense matrices and LU factorisation with partial
+//!   pivoting, over both real and complex scalars (used by the MNA circuit
+//!   simulator);
+//! * [`roots`] — bracketing root finders (bisection, Brent);
+//! * [`optimize`] — golden-section search, Nelder–Mead simplex and grid
+//!   refinement (used by the numerical repeater optimiser);
+//! * [`laplace`] — numerical inverse Laplace transforms (fixed Talbot and
+//!   Gaver–Stehfest), used to evaluate the exact transmission-line transfer
+//!   function in the time domain;
+//! * [`interp`] — linear interpolation and threshold-crossing search on
+//!   sampled waveforms;
+//! * [`poly`] — small polynomial helpers (evaluation, quadratic roots);
+//! * [`stats`] — error metrics used when comparing model against simulation.
+//!
+//! # Example
+//!
+//! ```
+//! use rlckit_numeric::roots::brent;
+//!
+//! // Solve x² = 2 on [1, 2].
+//! let root = brent(|x| x * x - 2.0, 1.0, 2.0, 1e-12, 100).expect("bracketed root");
+//! assert!((root - 2f64.sqrt()).abs() < 1e-10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod interp;
+pub mod laplace;
+pub mod lu;
+pub mod matrix;
+pub mod optimize;
+pub mod poly;
+pub mod roots;
+pub mod stats;
+
+pub use complex::Complex;
+pub use matrix::Matrix;

@@ -1,0 +1,446 @@
+//! Derivative-free minimisation.
+//!
+//! The repeater-insertion problem minimises the total propagation delay
+//! `tpdtotal(h, k)` over the repeater size `h` and the number of sections `k`.
+//! The paper solves the two coupled stationarity equations numerically; here
+//! we minimise the same objective directly with a Nelder–Mead simplex (seeded
+//! by a coarse grid search), plus a golden-section search for one-dimensional
+//! sub-problems.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the optimisers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The iteration limit was reached before the tolerance was met.
+    MaxIterations {
+        /// Best point found so far.
+        best: Vec<f64>,
+        /// Objective value at `best`.
+        value: f64,
+    },
+    /// The objective returned a non-finite value at the given point.
+    NonFinite {
+        /// Point at which the objective was non-finite.
+        at: Vec<f64>,
+    },
+    /// An invalid search interval or bound was supplied.
+    InvalidBounds {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MaxIterations { value, .. } => {
+                write!(f, "maximum iterations reached (best objective {value})")
+            }
+            Self::NonFinite { at } => write!(f, "objective is not finite at {at:?}"),
+            Self::InvalidBounds { reason } => write!(f, "invalid bounds: {reason}"),
+        }
+    }
+}
+
+impl Error for OptimizeError {}
+
+/// Result of a successful minimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Location of the minimum.
+    pub point: Vec<f64>,
+    /// Objective value at [`Minimum::point`].
+    pub value: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+/// Minimises a one-dimensional unimodal function on `[a, b]` by
+/// golden-section search.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::InvalidBounds`] if `a >= b` and
+/// [`OptimizeError::NonFinite`] if the objective produces NaN.
+pub fn golden_section<F>(mut f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> Result<Minimum, OptimizeError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(a < b) {
+        return Err(OptimizeError::InvalidBounds { reason: "golden section requires a < b" });
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut lo = a;
+    let mut hi = b;
+    let mut evals = 0;
+    let mut eval = |x: f64, evals: &mut usize| -> Result<f64, OptimizeError> {
+        *evals += 1;
+        let v = f(x);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(OptimizeError::NonFinite { at: vec![x] })
+        }
+    };
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let mut fc = eval(c, &mut evals)?;
+    let mut fd = eval(d, &mut evals)?;
+    for _ in 0..max_iter {
+        if (hi - lo).abs() < tol {
+            break;
+        }
+        if fc < fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - INV_PHI * (hi - lo);
+            fc = eval(c, &mut evals)?;
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + INV_PHI * (hi - lo);
+            fd = eval(d, &mut evals)?;
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    let v = eval(x, &mut evals)?;
+    Ok(Minimum { point: vec![x], value: v, evaluations: evals })
+}
+
+/// Configuration for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Initial simplex edge length relative to the magnitude of the start point.
+    pub initial_step: f64,
+    /// Convergence tolerance on the spread of objective values in the simplex.
+    pub tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self { initial_step: 0.1, tolerance: 1e-10, max_iterations: 2000 }
+    }
+}
+
+/// Minimises an n-dimensional function with the Nelder–Mead simplex method.
+///
+/// The objective may return `f64::INFINITY` to encode constraints (e.g.
+/// "repeater count must be at least one"); infinite values are handled as
+/// "worse than anything finite". NaN is treated as an error.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::NonFinite`] if the objective returns NaN at any
+/// probed point, [`OptimizeError::InvalidBounds`] for an empty start point,
+/// and [`OptimizeError::MaxIterations`] when convergence is not reached (the
+/// best point found is included in the error).
+pub fn nelder_mead<F>(
+    mut f: F,
+    start: &[f64],
+    options: NelderMeadOptions,
+) -> Result<Minimum, OptimizeError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = start.len();
+    if n == 0 {
+        return Err(OptimizeError::InvalidBounds { reason: "start point must be non-empty" });
+    }
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> Result<f64, OptimizeError> {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            Err(OptimizeError::NonFinite { at: x.to_vec() })
+        } else {
+            Ok(v)
+        }
+    };
+
+    // Build the initial simplex: start point plus one vertex per coordinate.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(start.to_vec());
+    for i in 0..n {
+        let mut v = start.to_vec();
+        let step = if v[i].abs() > 1e-12 { options.initial_step * v[i].abs() } else { options.initial_step };
+        v[i] += step;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+    for v in &simplex {
+        values.push(eval(v, &mut evals)?);
+    }
+
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    for _ in 0..options.max_iterations {
+        // Order the simplex by objective value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+        let simplex_sorted: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
+        let values_sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+        simplex = simplex_sorted;
+        values = values_sorted;
+
+        let best = values[0];
+        let worst = values[n];
+        if (worst - best).abs() < options.tolerance * (1.0 + best.abs()) {
+            return Ok(Minimum { point: simplex[0].clone(), value: best, evaluations: evals });
+        }
+
+        // Centroid of all points except the worst.
+        let mut centroid = vec![0.0; n];
+        for v in simplex.iter().take(n) {
+            for (c, vi) in centroid.iter_mut().zip(v.iter()) {
+                *c += vi / n as f64;
+            }
+        }
+
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(simplex[n].iter())
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        let f_reflect = eval(&reflect, &mut evals)?;
+
+        if f_reflect < values[0] {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(simplex[n].iter())
+                .map(|(c, w)| c + GAMMA * ALPHA * (c - w))
+                .collect();
+            let f_expand = eval(&expand, &mut evals)?;
+            if f_expand < f_reflect {
+                simplex[n] = expand;
+                values[n] = f_expand;
+            } else {
+                simplex[n] = reflect;
+                values[n] = f_reflect;
+            }
+        } else if f_reflect < values[n - 1] {
+            simplex[n] = reflect;
+            values[n] = f_reflect;
+        } else {
+            // Contraction.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(simplex[n].iter())
+                .map(|(c, w)| c + RHO * (w - c))
+                .collect();
+            let f_contract = eval(&contract, &mut evals)?;
+            if f_contract < values[n] {
+                simplex[n] = contract;
+                values[n] = f_contract;
+            } else {
+                // Shrink the whole simplex towards the best vertex.
+                let best_point = simplex[0].clone();
+                for i in 1..=n {
+                    for j in 0..n {
+                        simplex[i][j] = best_point[j] + SIGMA * (simplex[i][j] - best_point[j]);
+                    }
+                    values[i] = eval(&simplex[i].clone(), &mut evals)?;
+                }
+            }
+        }
+    }
+
+    // Report the best point found with the error.
+    let (idx, &value) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("simplex is non-empty");
+    Err(OptimizeError::MaxIterations { best: simplex[idx].clone(), value })
+}
+
+/// Exhaustive grid search over a rectangle, used to seed [`nelder_mead`].
+///
+/// Evaluates `f` on an `nx × ny` grid covering `[x_range.0, x_range.1] ×
+/// [y_range.0, y_range.1]` and returns the best grid point.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::InvalidBounds`] if a range is empty or a grid
+/// dimension is smaller than 2, and [`OptimizeError::NonFinite`] if `f`
+/// returns NaN.
+pub fn grid_search_2d<F>(
+    mut f: F,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    nx: usize,
+    ny: usize,
+) -> Result<Minimum, OptimizeError>
+where
+    F: FnMut(f64, f64) -> f64,
+{
+    if !(x_range.0 < x_range.1) || !(y_range.0 < y_range.1) {
+        return Err(OptimizeError::InvalidBounds { reason: "grid ranges must be non-empty" });
+    }
+    if nx < 2 || ny < 2 {
+        return Err(OptimizeError::InvalidBounds { reason: "grid must have at least 2 points per axis" });
+    }
+    let mut best = (x_range.0, y_range.0, f64::INFINITY);
+    let mut evals = 0usize;
+    for i in 0..nx {
+        let x = x_range.0 + (x_range.1 - x_range.0) * i as f64 / (nx - 1) as f64;
+        for j in 0..ny {
+            let y = y_range.0 + (y_range.1 - y_range.0) * j as f64 / (ny - 1) as f64;
+            let v = f(x, y);
+            evals += 1;
+            if v.is_nan() {
+                return Err(OptimizeError::NonFinite { at: vec![x, y] });
+            }
+            if v < best.2 {
+                best = (x, y, v);
+            }
+        }
+    }
+    Ok(Minimum { point: vec![best.0, best.1], value: best.2, evaluations: evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_quadratic() {
+        let m = golden_section(|x| (x - 1.7) * (x - 1.7) + 3.0, 0.0, 5.0, 1e-10, 200).unwrap();
+        assert!((m.point[0] - 1.7).abs() < 1e-6);
+        assert!((m.value - 3.0).abs() < 1e-10);
+        assert!(m.evaluations > 0);
+    }
+
+    #[test]
+    fn golden_section_invalid_interval() {
+        assert!(matches!(
+            golden_section(|x| x, 1.0, 1.0, 1e-10, 10),
+            Err(OptimizeError::InvalidBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let rosen = |p: &[f64]| {
+            let (x, y) = (p[0], p[1]);
+            (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+        };
+        let m = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            NelderMeadOptions { initial_step: 0.5, tolerance: 1e-14, max_iterations: 5000 },
+        )
+        .unwrap();
+        assert!((m.point[0] - 1.0).abs() < 1e-4, "x = {}", m.point[0]);
+        assert!((m.point[1] - 1.0).abs() < 1e-4, "y = {}", m.point[1]);
+        assert!(m.value < 1e-7);
+    }
+
+    #[test]
+    fn nelder_mead_handles_infinite_barrier() {
+        // Constrained quadratic: objective is +inf for x < 0.5.
+        let f = |p: &[f64]| {
+            if p[0] < 0.5 {
+                f64::INFINITY
+            } else {
+                (p[0] - 0.2).powi(2)
+            }
+        };
+        let m = nelder_mead(f, &[2.0], NelderMeadOptions::default()).unwrap();
+        assert!((m.point[0] - 0.5).abs() < 1e-3, "constrained minimum at 0.5, got {}", m.point[0]);
+    }
+
+    #[test]
+    fn nelder_mead_rejects_nan() {
+        let f = |_: &[f64]| f64::NAN;
+        assert!(matches!(
+            nelder_mead(f, &[1.0], NelderMeadOptions::default()),
+            Err(OptimizeError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn nelder_mead_empty_start() {
+        let f = |_: &[f64]| 0.0;
+        assert!(matches!(
+            nelder_mead(f, &[], NelderMeadOptions::default()),
+            Err(OptimizeError::InvalidBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn nelder_mead_reports_best_on_iteration_limit() {
+        let f = |p: &[f64]| p[0] * p[0];
+        let err = nelder_mead(
+            f,
+            &[10.0],
+            NelderMeadOptions { initial_step: 0.1, tolerance: 0.0, max_iterations: 3 },
+        )
+        .unwrap_err();
+        match err {
+            OptimizeError::MaxIterations { best, value } => {
+                assert_eq!(best.len(), 1);
+                assert!(value.is_finite());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_search_finds_coarse_minimum() {
+        let m = grid_search_2d(
+            |x, y| (x - 3.0).powi(2) + (y + 1.0).powi(2),
+            (0.0, 5.0),
+            (-5.0, 5.0),
+            51,
+            101,
+        )
+        .unwrap();
+        assert!((m.point[0] - 3.0).abs() < 0.11);
+        assert!((m.point[1] + 1.0).abs() < 0.11);
+        assert_eq!(m.evaluations, 51 * 101);
+    }
+
+    #[test]
+    fn grid_search_invalid_inputs() {
+        assert!(grid_search_2d(|_, _| 0.0, (1.0, 0.0), (0.0, 1.0), 5, 5).is_err());
+        assert!(grid_search_2d(|_, _| 0.0, (0.0, 1.0), (0.0, 1.0), 1, 5).is_err());
+        assert!(matches!(
+            grid_search_2d(|_, _| f64::NAN, (0.0, 1.0), (0.0, 1.0), 3, 3),
+            Err(OptimizeError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_then_nelder_mead_refinement_pattern() {
+        // The pattern used by the repeater optimiser: coarse grid, then polish.
+        let objective = |x: f64, y: f64| (x - 2.5).powi(2) * (1.0 + 0.1 * (y - 4.0).powi(2)) + (y - 4.0).powi(2);
+        let coarse = grid_search_2d(objective, (0.1, 10.0), (0.1, 10.0), 20, 20).unwrap();
+        let refined = nelder_mead(
+            |p| objective(p[0], p[1]),
+            &coarse.point,
+            NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((refined.point[0] - 2.5).abs() < 1e-4);
+        assert!((refined.point[1] - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(OptimizeError::MaxIterations { best: vec![1.0], value: 2.0 }
+            .to_string()
+            .contains("maximum"));
+        assert!(OptimizeError::NonFinite { at: vec![0.0] }.to_string().contains("finite"));
+        assert!(OptimizeError::InvalidBounds { reason: "x" }.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Small polynomial utilities.
+//!
+//! Transfer-function denominators truncated to a few terms are low-order
+//! polynomials in `s`; this module provides evaluation, differentiation and
+//! closed-form roots for the quadratic case (the two-pole approximation used
+//! by the analytic step-response model).
+
+use crate::complex::Complex;
+
+/// A polynomial with real coefficients, stored lowest degree first:
+/// `coeffs[0] + coeffs[1]·x + coeffs[2]·x² + …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending-degree order.
+    ///
+    /// Trailing zero coefficients are trimmed; the zero polynomial keeps a
+    /// single zero coefficient.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut c = coeffs;
+        while c.len() > 1 && c.last() == Some(&0.0) {
+            c.pop();
+        }
+        if c.is_empty() {
+            c.push(0.0);
+        }
+        Self { coeffs: c }
+    }
+
+    /// The constant polynomial `value`.
+    pub fn constant(value: f64) -> Self {
+        Self::new(vec![value])
+    }
+
+    /// Coefficients in ascending-degree order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the polynomial at a real argument using Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates the polynomial at a complex argument.
+    pub fn eval_complex(&self, x: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Self {
+        if self.coeffs.len() <= 1 {
+            return Self::constant(0.0);
+        }
+        let d = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * i as f64)
+            .collect();
+        Self::new(d)
+    }
+
+    /// Roots of a quadratic `c0 + c1 x + c2 x² = 0` as complex numbers.
+    ///
+    /// Returns `None` if the polynomial is not degree 2.
+    pub fn quadratic_roots(&self) -> Option<(Complex, Complex)> {
+        if self.degree() != 2 {
+            return None;
+        }
+        let (c, b, a) = (self.coeffs[0], self.coeffs[1], self.coeffs[2]);
+        let disc = b * b - 4.0 * a * c;
+        if disc >= 0.0 {
+            let sq = disc.sqrt();
+            // Numerically stable form avoiding cancellation.
+            let q = -0.5 * (b + b.signum() * sq);
+            let r1 = if a != 0.0 { q / a } else { f64::INFINITY };
+            let r2 = if q != 0.0 { c / q } else { 0.0 };
+            Some((Complex::from_real(r1), Complex::from_real(r2)))
+        } else {
+            let sq = (-disc).sqrt();
+            let re = -b / (2.0 * a);
+            let im = sq / (2.0 * a);
+            Some((Complex::new(re, im), Complex::new(re, -im)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_trims_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z.degree(), 0);
+        assert_eq!(z.eval(5.0), 0.0);
+    }
+
+    #[test]
+    fn evaluation() {
+        // p(x) = 1 + 2x + 3x²
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 6.0);
+        assert_eq!(p.eval(2.0), 17.0);
+        let z = p.eval_complex(Complex::J);
+        // 1 + 2j + 3(j²) = -2 + 2j
+        assert!((z - Complex::new(-2.0, 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let d = p.derivative();
+        assert_eq!(d.coeffs(), &[2.0, 6.0, 12.0]);
+        assert_eq!(Polynomial::constant(7.0).derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn real_quadratic_roots() {
+        // (x-1)(x-3) = 3 - 4x + x²
+        let p = Polynomial::new(vec![3.0, -4.0, 1.0]);
+        let (r1, r2) = p.quadratic_roots().unwrap();
+        let mut roots = [r1.re, r2.re];
+        roots.sort_by(f64::total_cmp);
+        assert!((roots[0] - 1.0).abs() < 1e-12);
+        assert!((roots[1] - 3.0).abs() < 1e-12);
+        assert_eq!(r1.im, 0.0);
+    }
+
+    #[test]
+    fn complex_quadratic_roots() {
+        // x² + 2x + 5 → roots -1 ± 2j
+        let p = Polynomial::new(vec![5.0, 2.0, 1.0]);
+        let (r1, r2) = p.quadratic_roots().unwrap();
+        assert!((r1.re + 1.0).abs() < 1e-12);
+        assert!((r1.im.abs() - 2.0).abs() < 1e-12);
+        assert!((r2 - r1.conj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_roots_wrong_degree() {
+        assert!(Polynomial::new(vec![1.0, 1.0]).quadratic_roots().is_none());
+        assert!(Polynomial::new(vec![1.0, 1.0, 1.0, 1.0]).quadratic_roots().is_none());
+    }
+
+    #[test]
+    fn roots_satisfy_polynomial() {
+        let p = Polynomial::new(vec![2.0, -3.0, 4.0]);
+        let (r1, r2) = p.quadratic_roots().unwrap();
+        for r in [r1, r2] {
+            assert!(p.eval_complex(r).abs() < 1e-10);
+        }
+    }
+}

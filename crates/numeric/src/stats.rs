@@ -1,0 +1,205 @@
+//! Error metrics for comparing model predictions against simulation.
+//!
+//! The paper reports per-cell percentage errors (Table 1, "< 5%") and the
+//! accuracy of the repeater closed forms ("< 0.05%"); these helpers compute
+//! the same statistics over whole sweeps.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a comparison cannot be formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The two slices have different lengths or are empty.
+    LengthMismatch {
+        /// Length of the predicted slice.
+        predicted: usize,
+        /// Length of the reference slice.
+        reference: usize,
+    },
+    /// A reference value is zero, so a relative error is undefined.
+    ZeroReference {
+        /// Index of the zero reference value.
+        index: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { predicted, reference } => write!(
+                f,
+                "predicted and reference slices must be non-empty and equal length (got {predicted} and {reference})"
+            ),
+            Self::ZeroReference { index } => {
+                write!(f, "reference value at index {index} is zero")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Summary statistics of the relative error between predictions and references.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Largest absolute relative error, in per cent.
+    pub max_percent: f64,
+    /// Mean absolute relative error, in per cent.
+    pub mean_percent: f64,
+    /// Root-mean-square relative error, in per cent.
+    pub rms_percent: f64,
+    /// Number of points compared.
+    pub count: usize,
+}
+
+impl fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "max {:.2}% | mean {:.2}% | rms {:.2}% over {} points",
+            self.max_percent, self.mean_percent, self.rms_percent, self.count
+        )
+    }
+}
+
+/// Relative error of a single prediction against a reference, in per cent.
+///
+/// # Errors
+///
+/// Returns [`StatsError::ZeroReference`] if `reference` is zero.
+pub fn percent_error(predicted: f64, reference: f64) -> Result<f64, StatsError> {
+    if reference == 0.0 {
+        return Err(StatsError::ZeroReference { index: 0 });
+    }
+    Ok((predicted - reference).abs() / reference.abs() * 100.0)
+}
+
+/// Signed relative difference `(predicted − reference)/reference` in per cent.
+///
+/// # Errors
+///
+/// Returns [`StatsError::ZeroReference`] if `reference` is zero.
+pub fn signed_percent_difference(predicted: f64, reference: f64) -> Result<f64, StatsError> {
+    if reference == 0.0 {
+        return Err(StatsError::ZeroReference { index: 0 });
+    }
+    Ok((predicted - reference) / reference.abs() * 100.0)
+}
+
+/// Computes max / mean / RMS relative error between two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`StatsError::LengthMismatch`] for empty or unequal slices and
+/// [`StatsError::ZeroReference`] if any reference value is zero.
+pub fn error_summary(predicted: &[f64], reference: &[f64]) -> Result<ErrorSummary, StatsError> {
+    if predicted.is_empty() || predicted.len() != reference.len() {
+        return Err(StatsError::LengthMismatch {
+            predicted: predicted.len(),
+            reference: reference.len(),
+        });
+    }
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for (i, (p, r)) in predicted.iter().zip(reference.iter()).enumerate() {
+        if *r == 0.0 {
+            return Err(StatsError::ZeroReference { index: i });
+        }
+        let e = (p - r).abs() / r.abs() * 100.0;
+        max = max.max(e);
+        sum += e;
+        sum_sq += e * e;
+    }
+    let n = predicted.len() as f64;
+    Ok(ErrorSummary {
+        max_percent: max,
+        mean_percent: sum / n,
+        rms_percent: (sum_sq / n).sqrt(),
+        count: predicted.len(),
+    })
+}
+
+/// Arithmetic mean of a slice; `None` if the slice is empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n − 1 normalisation); `None` for fewer than two values.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_errors() {
+        assert!((percent_error(105.0, 100.0).unwrap() - 5.0).abs() < 1e-12);
+        assert!((percent_error(95.0, 100.0).unwrap() - 5.0).abs() < 1e-12);
+        assert!((signed_percent_difference(95.0, 100.0).unwrap() + 5.0).abs() < 1e-12);
+        assert!(matches!(percent_error(1.0, 0.0), Err(StatsError::ZeroReference { .. })));
+        assert!(matches!(
+            signed_percent_difference(1.0, 0.0),
+            Err(StatsError::ZeroReference { .. })
+        ));
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let predicted = [101.0, 99.0, 102.0, 100.0];
+        let reference = [100.0, 100.0, 100.0, 100.0];
+        let s = error_summary(&predicted, &reference).unwrap();
+        assert!((s.max_percent - 2.0).abs() < 1e-12);
+        assert!((s.mean_percent - 1.0).abs() < 1e-12);
+        assert!(s.rms_percent >= s.mean_percent);
+        assert_eq!(s.count, 4);
+        let text = s.to_string();
+        assert!(text.contains("max"));
+        assert!(text.contains('4'));
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(matches!(
+            error_summary(&[], &[]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            error_summary(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            error_summary(&[1.0, 1.0], &[1.0, 0.0]),
+            Err(StatsError::ZeroReference { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(std_dev(&[1.0]), None);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.138089935299395).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(StatsError::LengthMismatch { predicted: 1, reference: 2 }
+            .to_string()
+            .contains("equal length"));
+        assert!(StatsError::ZeroReference { index: 3 }.to_string().contains('3'));
+    }
+}

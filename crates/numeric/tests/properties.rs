@@ -1,0 +1,131 @@
+//! Property-based tests of the numerical substrate.
+//!
+//! Random well-conditioned systems, random bracketed roots and random unimodal
+//! objectives: the numerical routines must hit their advertised tolerances for
+//! all of them, not just the hand-picked unit-test cases.
+
+use proptest::prelude::*;
+
+use rlckit_numeric::complex::Complex;
+use rlckit_numeric::laplace::talbot;
+use rlckit_numeric::lu::{solve, LuFactor};
+use rlckit_numeric::matrix::Matrix;
+use rlckit_numeric::optimize::{golden_section, nelder_mead, NelderMeadOptions};
+use rlckit_numeric::poly::Polynomial;
+use rlckit_numeric::roots::{bisect, brent};
+
+/// A random diagonally dominant matrix (guaranteed non-singular) and a RHS.
+fn arb_system(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(-1.0f64..1.0, n * n),
+        proptest::collection::vec(-10.0f64..10.0, n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems((data, b) in arb_system(12)) {
+        let n = 12;
+        let mut m = Matrix::<f64>::from_rows(n, n, data);
+        for i in 0..n {
+            let dom = m[(i, i)] + 5.0;
+            m[(i, i)] = dom;
+        }
+        let x = solve(&m, &b).expect("diagonally dominant systems factorise");
+        let r = m.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(b.iter()) {
+            prop_assert!((ri - bi).abs() < 1e-8, "residual {}", (ri - bi).abs());
+        }
+    }
+
+    #[test]
+    fn lu_determinant_of_triangular_matrix_is_diagonal_product(
+        diag in proptest::collection::vec(0.5f64..4.0, 6),
+        off in proptest::collection::vec(-1.0f64..1.0, 15),
+    ) {
+        // Build an upper-triangular matrix: determinant is the diagonal product.
+        let n = 6;
+        let mut m = Matrix::<f64>::zeros(n, n);
+        let mut k = 0;
+        for i in 0..n {
+            m[(i, i)] = diag[i];
+            for j in (i + 1)..n {
+                m[(i, j)] = off[k % off.len()];
+                k += 1;
+            }
+        }
+        let det = LuFactor::new(&m).expect("non-singular").determinant();
+        let expected: f64 = diag.iter().product();
+        prop_assert!((det - expected).abs() < 1e-9 * expected.abs());
+    }
+
+    #[test]
+    fn brent_and_bisect_agree_on_cubic_roots(root in -5.0f64..5.0, offset in 0.1f64..3.0) {
+        // f(x) = (x - root)^3 + small linear term keeps a single real root at ~root.
+        let f = |x: f64| (x - root).powi(3) + 1e-3 * (x - root);
+        let a = root - offset;
+        let b = root + offset * 1.7;
+        let r1 = brent(f, a, b, 1e-12, 200).expect("bracketed");
+        let r2 = bisect(f, a, b, 1e-12, 200).expect("bracketed");
+        prop_assert!((r1 - root).abs() < 1e-5);
+        prop_assert!((r1 - r2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn golden_section_finds_quadratic_minimum(center in -10.0f64..10.0, width in 1.0f64..20.0) {
+        let f = |x: f64| (x - center) * (x - center) + 3.0;
+        let m = golden_section(f, center - width, center + width, 1e-10, 500).expect("converges");
+        prop_assert!((m.point[0] - center).abs() < 1e-4);
+        prop_assert!((m.value - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nelder_mead_finds_shifted_paraboloid_minimum(cx in -3.0f64..3.0, cy in -3.0f64..3.0) {
+        let f = move |p: &[f64]| (p[0] - cx).powi(2) + 2.0 * (p[1] - cy).powi(2) + 1.0;
+        let m = nelder_mead(f, &[0.0, 0.0], NelderMeadOptions {
+            initial_step: 0.5,
+            tolerance: 1e-14,
+            max_iterations: 4000,
+        }).expect("converges");
+        prop_assert!((m.point[0] - cx).abs() < 1e-4);
+        prop_assert!((m.point[1] - cy).abs() < 1e-4);
+    }
+
+    #[test]
+    fn talbot_inverts_first_order_lags(tau in 0.05f64..20.0, t in 0.01f64..10.0) {
+        // F(s) = 1/(1 + s·tau) ⇒ f(t) = e^{-t/tau}/tau ... use the step response
+        // form F(s)/s which is 1 - e^{-t/tau}: bounded, well-conditioned.
+        let f = |s: Complex| (s * tau + 1.0).recip() / s;
+        let got = talbot(f, t, 32);
+        let want = 1.0 - (-t / tau).exp();
+        prop_assert!((got - want).abs() < 1e-6, "t={t}, tau={tau}: {got} vs {want}");
+    }
+
+    #[test]
+    fn quadratic_roots_always_satisfy_the_polynomial(
+        a in 0.1f64..5.0,
+        b in -10.0f64..10.0,
+        c in -10.0f64..10.0,
+    ) {
+        let p = Polynomial::new(vec![c, b, a]);
+        let (r1, r2) = p.quadratic_roots().expect("degree two");
+        prop_assert!(p.eval_complex(r1).abs() < 1e-6 * (1.0 + c.abs() + b.abs() + a));
+        prop_assert!(p.eval_complex(r2).abs() < 1e-6 * (1.0 + c.abs() + b.abs() + a));
+    }
+
+    #[test]
+    fn complex_field_axioms_hold(re1 in -5.0f64..5.0, im1 in -5.0f64..5.0,
+                                 re2 in -5.0f64..5.0, im2 in -5.0f64..5.0) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        // Commutativity and distributivity within floating-point tolerance.
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-12);
+        let lhs = a * (b + Complex::ONE);
+        let rhs = a * b + a;
+        prop_assert!((lhs - rhs).abs() < 1e-10);
+        // |a·b| = |a|·|b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+}

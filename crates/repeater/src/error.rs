@@ -1,0 +1,47 @@
+//! Error type for repeater-insertion analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by repeater-insertion construction and optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepeaterError {
+    /// A problem parameter is non-positive or not finite.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The numerical optimiser failed to converge.
+    Optimization {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RepeaterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { what, value } => write!(f, "invalid {what}: {value}"),
+            Self::Optimization { reason } => write!(f, "repeater optimisation failed: {reason}"),
+        }
+    }
+}
+
+impl Error for RepeaterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(RepeaterError::InvalidParameter { what: "buffer size", value: -1.0 }
+            .to_string()
+            .contains("buffer size"));
+        assert!(RepeaterError::Optimization { reason: "did not converge".into() }
+            .to_string()
+            .contains("did not converge"));
+    }
+}

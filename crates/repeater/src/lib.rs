@@ -1,0 +1,58 @@
+//! Optimum repeater insertion in RLC interconnect (Section III of the paper).
+//!
+//! Repeaters partition a long line into `k` sections, each driven by a buffer
+//! `h` times larger than minimum size. For RC lines the classical Bakoglu
+//! solution gives the optimum `h` and `k`; the paper shows that inductance
+//! changes the optimum — fewer, appropriately sized repeaters — and provides
+//! closed forms (Eqs. 14–15) whose error against the true numerical optimum is
+//! negligible.
+//!
+//! This crate implements:
+//!
+//! * [`rc`] — the Bakoglu RC optimum (Eq. 11);
+//! * [`rlc`] — the paper's `T_{L/R}` parameter (Eq. 13) and the RLC closed
+//!   forms (Eqs. 14–15) with their error factors `h'`, `k'`;
+//! * [`system`] — evaluation of the total delay `tpdtotal(h, k)`, repeater
+//!   area and switching energy for an arbitrary design point;
+//! * [`numerical`] — direct numerical minimisation of `tpdtotal(h, k)` (the
+//!   reference the closed forms are validated against, reproducing Fig. 4);
+//! * [`comparison`] — the cost of designing with an RC model when the line is
+//!   really RLC: delay increase (Eqs. 16–17) and area increase (Eq. 18);
+//! * [`design`] — a high-level `RepeaterDesigner` that picks integer repeater
+//!   counts for a physical line in a given technology.
+//!
+//! # Example
+//!
+//! ```
+//! use rlckit_interconnect::Technology;
+//! use rlckit_repeater::RepeaterProblem;
+//! use rlckit_units::Length;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::quarter_micron();
+//! // A long, wide clock spine: strongly inductive (T_L/R ≈ 5).
+//! let line = tech.global_wire.line(Length::from_millimeters(50.0))?;
+//! let problem = RepeaterProblem::for_line(&line, &tech)?;
+//!
+//! let rc = problem.bakoglu_optimum();     // ignores inductance
+//! let rlc = problem.rlc_optimum();        // the paper's closed form
+//! assert!(rlc.sections < rc.sections);    // inductance ⇒ fewer repeaters
+//! assert!(rlc.total_delay < rc.total_delay);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod design;
+pub mod error;
+pub mod numerical;
+pub mod rc;
+pub mod rlc;
+pub mod system;
+pub mod tradeoff;
+
+pub use error::RepeaterError;
+pub use system::{RepeaterDesign, RepeaterProblem};

@@ -1,0 +1,197 @@
+//! Delay / area / energy trade-offs for repeater systems.
+//!
+//! The paper optimises for delay alone; its reference [10] (Adler & Friedman)
+//! studies how much area and power can be recovered by backing off slightly
+//! from the delay-optimal point. This module provides that extension on top of
+//! the RLC-aware machinery: the Pareto front of repeated-line designs over the
+//! number of sections, and a "cheapest design within a delay budget" query —
+//! the form in which a physical-design flow actually consumes repeater
+//! insertion.
+
+use rlckit_units::{Area, Energy, Time};
+
+use crate::error::RepeaterError;
+use crate::numerical::optimize_size_for_sections;
+use crate::system::RepeaterProblem;
+
+/// One point on the delay/area/energy trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Integer number of sections (repeaters).
+    pub sections: usize,
+    /// Repeater size (multiple of the minimum buffer), re-optimised for this
+    /// section count.
+    pub size: f64,
+    /// Total propagation delay at this point.
+    pub total_delay: Time,
+    /// Total repeater area at this point.
+    pub repeater_area: Area,
+    /// Switching energy per transition (line + repeaters) at this point.
+    pub switching_energy: Energy,
+}
+
+/// Sweeps the number of sections from 1 to `max_sections`, re-optimising the
+/// repeater size for each count, and returns one [`TradeoffPoint`] per count.
+///
+/// The returned points trace the delay/area trade-off: small `k` is cheap but
+/// (for resistive lines) slow, large `k` wastes area and — on inductive lines —
+/// eventually delay as well.
+///
+/// # Errors
+///
+/// Returns [`RepeaterError::InvalidParameter`] if `max_sections` is zero, and
+/// propagates optimisation failures.
+pub fn sections_sweep(
+    problem: &RepeaterProblem,
+    max_sections: usize,
+) -> Result<Vec<TradeoffPoint>, RepeaterError> {
+    if max_sections == 0 {
+        return Err(RepeaterError::InvalidParameter { what: "maximum section count", value: 0.0 });
+    }
+    let mut points = Vec::with_capacity(max_sections);
+    for k in 1..=max_sections {
+        let design = optimize_size_for_sections(problem, k as f64)?;
+        points.push(TradeoffPoint {
+            sections: k,
+            size: design.size,
+            total_delay: design.total_delay,
+            repeater_area: problem.repeater_area(&design),
+            switching_energy: problem.switching_energy(&design),
+        });
+    }
+    Ok(points)
+}
+
+/// Finds the design with the smallest repeater area whose delay is within
+/// `slack_percent` of the best delay achievable over the swept section counts.
+///
+/// This is the Adler–Friedman-style question "how much area/power does one
+/// delay per cent buy?", answered with the RLC-aware section delay model.
+///
+/// # Errors
+///
+/// Returns [`RepeaterError::InvalidParameter`] for a negative slack or zero
+/// `max_sections`, and propagates optimisation failures.
+pub fn cheapest_within_slack(
+    problem: &RepeaterProblem,
+    max_sections: usize,
+    slack_percent: f64,
+) -> Result<TradeoffPoint, RepeaterError> {
+    if !(slack_percent >= 0.0) || !slack_percent.is_finite() {
+        return Err(RepeaterError::InvalidParameter {
+            what: "delay slack percent",
+            value: slack_percent,
+        });
+    }
+    let points = sections_sweep(problem, max_sections)?;
+    let best_delay = points
+        .iter()
+        .map(|p| p.total_delay.seconds())
+        .fold(f64::INFINITY, f64::min);
+    let budget = best_delay * (1.0 + slack_percent / 100.0);
+    let cheapest = points
+        .into_iter()
+        .filter(|p| p.total_delay.seconds() <= budget)
+        .min_by(|a, b| {
+            a.repeater_area
+                .square_meters()
+                .partial_cmp(&b.repeater_area.square_meters())
+                .expect("finite areas")
+        })
+        .expect("at least the delay-optimal point satisfies the budget");
+    Ok(cheapest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_interconnect::Technology;
+    use rlckit_units::Length;
+
+    fn resistive_problem() -> RepeaterProblem {
+        let tech = Technology::quarter_micron();
+        let line = tech
+            .intermediate_wire
+            .line(Length::from_millimeters(20.0))
+            .unwrap();
+        RepeaterProblem::for_line(&line, &tech).unwrap()
+    }
+
+    fn inductive_problem() -> RepeaterProblem {
+        let tech = Technology::quarter_micron();
+        let line = tech.global_wire.line(Length::from_millimeters(50.0)).unwrap();
+        RepeaterProblem::for_line(&line, &tech).unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_section_count() {
+        let p = resistive_problem();
+        let points = sections_sweep(&p, 8).unwrap();
+        assert_eq!(points.len(), 8);
+        for (i, point) in points.iter().enumerate() {
+            assert_eq!(point.sections, i + 1);
+            assert!(point.size > 0.0);
+            assert!(point.total_delay.seconds() > 0.0);
+        }
+        // Area grows with the number of sections (roughly h·k·Amin with h ~ constant).
+        assert!(points[7].repeater_area.square_meters() > points[0].repeater_area.square_meters());
+        assert!(sections_sweep(&p, 0).is_err());
+    }
+
+    #[test]
+    fn delay_curve_has_an_interior_minimum_for_resistive_lines() {
+        // A long resistive line wants several repeaters: delay at k=1 and at the
+        // far end of the sweep both exceed the minimum in between.
+        let p = resistive_problem();
+        let points = sections_sweep(&p, 12).unwrap();
+        let delays: Vec<f64> = points.iter().map(|p| p.total_delay.seconds()).collect();
+        let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+        let argmin = delays.iter().position(|&d| d == min).unwrap();
+        assert!(argmin > 0, "optimum should need more than one section");
+        assert!(argmin < delays.len() - 1, "optimum should not be at the sweep edge");
+        // The continuous closed form agrees with the discrete sweep's argmin ±1.
+        let continuous = p.rlc_optimum().sections;
+        assert!((continuous - (argmin + 1) as f64).abs() <= 1.0);
+    }
+
+    #[test]
+    fn inductive_lines_prefer_few_sections() {
+        let p = inductive_problem();
+        let points = sections_sweep(&p, 8).unwrap();
+        let best = points
+            .iter()
+            .min_by(|a, b| a.total_delay.seconds().partial_cmp(&b.total_delay.seconds()).unwrap())
+            .unwrap();
+        assert!(best.sections <= 2, "inductive line wanted {} sections", best.sections);
+        // And adding sections beyond the optimum strictly hurts.
+        assert!(points[7].total_delay > best.total_delay);
+    }
+
+    #[test]
+    fn slack_buys_area() {
+        let p = resistive_problem();
+        let tight = cheapest_within_slack(&p, 12, 0.0).unwrap();
+        let relaxed = cheapest_within_slack(&p, 12, 10.0).unwrap();
+        assert!(relaxed.repeater_area.square_meters() <= tight.repeater_area.square_meters());
+        assert!(relaxed.total_delay >= tight.total_delay);
+        // 10% slack should buy a tangible area saving on a resistive line.
+        assert!(
+            relaxed.repeater_area.square_meters() < 0.95 * tight.repeater_area.square_meters(),
+            "10% slack saved only {:.1}%",
+            100.0 * (1.0 - relaxed.repeater_area.square_meters() / tight.repeater_area.square_meters())
+        );
+        assert!(cheapest_within_slack(&p, 12, -1.0).is_err());
+    }
+
+    #[test]
+    fn zero_slack_returns_the_delay_optimal_point() {
+        let p = inductive_problem();
+        let points = sections_sweep(&p, 8).unwrap();
+        let best_delay = points
+            .iter()
+            .map(|p| p.total_delay.seconds())
+            .fold(f64::INFINITY, f64::min);
+        let chosen = cheapest_within_slack(&p, 8, 0.0).unwrap();
+        assert!((chosen.total_delay.seconds() - best_delay).abs() < 1e-15);
+    }
+}

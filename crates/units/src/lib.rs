@@ -1,0 +1,73 @@
+//! Physical-quantity newtypes for the `rlckit` workspace.
+//!
+//! Interconnect analysis juggles many raw `f64` values whose units are easy to
+//! confuse: total versus per-unit-length resistance, farads versus farads per
+//! metre, seconds versus radians per second. This crate wraps each physical
+//! dimension in a dedicated newtype ([`Resistance`], [`Capacitance`],
+//! [`Inductance`], [`Length`], [`Time`], …) so the compiler catches unit
+//! mix-ups, while keeping the runtime representation a plain `f64`.
+//!
+//! The crate also provides:
+//!
+//! * per-unit-length quantities ([`ResistancePerLength`],
+//!   [`CapacitancePerLength`], [`InductancePerLength`]) that multiply with
+//!   [`Length`] to give totals — exactly the `Rt = R·l` relations of the
+//!   Ismail–Friedman formulation;
+//! * cross-dimension arithmetic for the products that appear in delay
+//!   analysis (`R·C → Time`, `L/R → Time`, `L·C → TimeSquared`);
+//! * engineering-notation formatting and parsing (`"1 pF"`, `"500 Ω"`).
+//!
+//! # Example
+//!
+//! ```
+//! use rlckit_units::{Capacitance, Inductance, Length, Resistance};
+//!
+//! // A 10 mm long global wire at 0.25 µm-era parasitics.
+//! let length = Length::from_millimeters(10.0);
+//! let rt = rlckit_units::ResistancePerLength::from_ohms_per_meter(1.5e3) * length;
+//! let ct = rlckit_units::CapacitancePerLength::from_farads_per_meter(100e-12) * length;
+//! let lt = rlckit_units::InductancePerLength::from_henries_per_meter(400e-9) * length;
+//! assert_eq!(rt, Resistance::from_ohms(15.0));
+//! assert_eq!(ct, Capacitance::from_picofarads(1.0));
+//! assert_eq!(lt, Inductance::from_nanohenries(4.0));
+//!
+//! let rc = rt * ct;            // Time
+//! let lc = (lt * ct).sqrt();   // Time (time of flight)
+//! assert!(rc.seconds() > 0.0 && lc.seconds() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod parse;
+mod per_length;
+mod quantities;
+
+pub use format::{format_eng, EngFormat};
+pub use parse::{parse_quantity, ParseQuantityError};
+pub use per_length::{CapacitancePerLength, InductancePerLength, ResistancePerLength};
+pub use quantities::{
+    Area, Capacitance, Current, Energy, Frequency, Inductance, Length, Power, Resistance, Time,
+    TimeSquared, Voltage,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readme_style_flow() {
+        let length = Length::from_millimeters(10.0);
+        let rt = ResistancePerLength::from_ohms_per_meter(1.5e3) * length;
+        let ct = CapacitancePerLength::from_farads_per_meter(100e-12) * length;
+        let lt = InductancePerLength::from_henries_per_meter(400e-9) * length;
+        assert!((rt.ohms() - 15.0).abs() < 1e-12);
+        assert!((ct.farads() - 1e-12).abs() < 1e-24);
+        assert!((lt.henries() - 4e-9).abs() < 1e-20);
+        let rc = rt * ct;
+        assert!(rc.seconds() > 0.0);
+        let tof = (lt * ct).sqrt();
+        assert!(tof.seconds() > 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Parsing of human-written quantity strings such as `"1 pF"` or `"500 ohm"`.
+//!
+//! The parser is deliberately small: a decimal number, an optional SI prefix,
+//! and an optional unit word. It is used by the example binaries and the
+//! bench harness to accept parameters from the command line.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`parse_quantity`] when the input cannot be interpreted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseQuantityError {
+    fn new(input: &str, reason: &'static str) -> Self {
+        Self { input: input.to_owned(), reason }
+    }
+
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid quantity {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl Error for ParseQuantityError {}
+
+/// Recognised unit spellings, all mapped to a canonical single-letter symbol.
+fn canonical_unit(word: &str) -> Option<&'static str> {
+    let lower = word.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "f" | "farad" | "farads" => "F",
+        "h" | "henry" | "henries" => "H",
+        "s" | "sec" | "second" | "seconds" => "s",
+        "m" | "meter" | "meters" | "metre" | "metres" => "m",
+        "v" | "volt" | "volts" => "V",
+        "a" | "amp" | "amps" | "ampere" | "amperes" => "A",
+        "hz" | "hertz" => "Hz",
+        "ohm" | "ohms" | "Ω" | "w" => "Ω",
+        _ => return None,
+    })
+}
+
+fn prefix_factor(c: char) -> Option<f64> {
+    Some(match c {
+        'a' => 1e-18,
+        'f' => 1e-15,
+        'p' => 1e-12,
+        'n' => 1e-9,
+        'u' | 'µ' => 1e-6,
+        'm' => 1e-3,
+        'k' | 'K' => 1e3,
+        'M' => 1e6,
+        'G' => 1e9,
+        'T' => 1e12,
+        _ => return None,
+    })
+}
+
+/// Parses a quantity string into `(value_in_si_base_units, canonical_unit)`.
+///
+/// Accepted forms include `"1pF"`, `"1 pF"`, `"500 ohm"`, `"2.5e-9 s"`,
+/// `"10mm"`, `"0.25um"` and bare numbers (unit reported as `""`).
+///
+/// The parse is unit-agnostic: callers that expect a particular dimension
+/// should check the returned unit symbol (e.g. `"F"` for capacitance).
+///
+/// # Errors
+///
+/// Returns [`ParseQuantityError`] if the number cannot be parsed or the unit
+/// word is not recognised.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), rlckit_units::ParseQuantityError> {
+/// let (value, unit) = rlckit_units::parse_quantity("1 pF")?;
+/// assert_eq!(unit, "F");
+/// assert!((value - 1e-12).abs() < 1e-24);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_quantity(input: &str) -> Result<(f64, &'static str), ParseQuantityError> {
+    let trimmed = input.trim();
+    if trimmed.is_empty() {
+        return Err(ParseQuantityError::new(input, "empty string"));
+    }
+
+    // Split at the end of the numeric part. The numeric part may contain an
+    // exponent (`e-9`), so scan for the longest prefix that parses as f64.
+    let bytes = trimmed.as_bytes();
+    let mut split = 0;
+    for i in (1..=bytes.len()).rev() {
+        if trimmed.is_char_boundary(i) && trimmed[..i].parse::<f64>().is_ok() {
+            split = i;
+            break;
+        }
+    }
+    if split == 0 {
+        return Err(ParseQuantityError::new(input, "no leading number"));
+    }
+    let value: f64 = trimmed[..split]
+        .parse()
+        .map_err(|_| ParseQuantityError::new(input, "no leading number"))?;
+    let rest = trimmed[split..].trim();
+
+    if rest.is_empty() {
+        return Ok((value, ""));
+    }
+
+    // The remainder is either `unit`, `prefix+unit`, or a bare prefix that is
+    // itself a unit letter (e.g. "m" for metres — ambiguous, resolved as unit).
+    if let Some(unit) = canonical_unit(rest) {
+        return Ok((value, unit));
+    }
+    let mut chars = rest.chars();
+    let first = chars.next().expect("rest is non-empty");
+    let tail: String = chars.collect();
+    if let (Some(factor), Some(unit)) = (prefix_factor(first), canonical_unit(&tail)) {
+        return Ok((value * factor, unit));
+    }
+    Err(ParseQuantityError::new(input, "unrecognised unit"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_quantity("42").unwrap(), (42.0, ""));
+        assert_eq!(parse_quantity(" 2.5e-9 ").unwrap(), (2.5e-9, ""));
+    }
+
+    #[test]
+    fn prefixed_units() {
+        let (v, u) = parse_quantity("1pF").unwrap();
+        assert_eq!(u, "F");
+        assert!((v - 1e-12).abs() < 1e-24);
+
+        let (v, u) = parse_quantity("2.5 nH").unwrap();
+        assert_eq!(u, "H");
+        assert!((v - 2.5e-9).abs() < 1e-20);
+
+        let (v, u) = parse_quantity("10 mm").unwrap();
+        assert_eq!(u, "m");
+        assert!((v - 0.01).abs() < 1e-12);
+
+        let (v, u) = parse_quantity("0.25 um").unwrap();
+        assert_eq!(u, "m");
+        assert!((v - 0.25e-6).abs() < 1e-15);
+
+        let (v, u) = parse_quantity("1.5 kohm").unwrap();
+        assert_eq!(u, "Ω");
+        assert!((v - 1500.0).abs() < 1e-9);
+
+        let (v, u) = parse_quantity("2 GHz").unwrap();
+        assert_eq!(u, "Hz");
+        assert!((v - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn unprefixed_units() {
+        assert_eq!(parse_quantity("500 ohm").unwrap(), (500.0, "Ω"));
+        assert_eq!(parse_quantity("3 V").unwrap(), (3.0, "V"));
+        assert_eq!(parse_quantity("7 s").unwrap(), (7.0, "s"));
+        // Bare "m" resolves to metres, not the milli prefix.
+        assert_eq!(parse_quantity("3 m").unwrap(), (3.0, "m"));
+    }
+
+    #[test]
+    fn exponent_plus_prefix() {
+        let (v, u) = parse_quantity("1e-3 pF").unwrap();
+        assert_eq!(u, "F");
+        assert!((v - 1e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_quantity("").is_err());
+        assert!(parse_quantity("pF").is_err());
+        assert!(parse_quantity("1 flux").is_err());
+        let err = parse_quantity("1 flux").unwrap_err();
+        assert_eq!(err.input(), "1 flux");
+        assert!(err.to_string().contains("unrecognised"));
+    }
+}

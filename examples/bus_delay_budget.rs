@@ -1,0 +1,57 @@
+//! Delay budgeting for a global bus: quadratic RC scaling versus linear RLC scaling.
+//!
+//! Sweeps the length of a global bus wire and prints the 50% delay predicted by
+//! the RC-only Sakurai model and by the inductance-aware closed form, plus the
+//! length window in which inductance must be modelled. The RC prediction grows
+//! quadratically with length while the true delay approaches linear
+//! (time-of-flight) growth — the Section II headline result, applied to a
+//! floorplanning-style budget table.
+//!
+//! Run with `cargo run --release --example bus_delay_budget`.
+
+use rlckit::model::rc_models::sakurai_delay;
+use rlckit::prelude::*;
+use rlckit::interconnect::merit::SignificanceWindow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::quarter_micron();
+    let driver_size = 120.0;
+    let driver = tech.buffer_resistance(driver_size)?;
+    let receiver = tech.buffer_capacitance(driver_size)?;
+    let edge = Time::from_picoseconds(60.0);
+
+    // The significance window depends only on the wire class and the edge rate.
+    let reference = tech.global_wire.line(Length::from_millimeters(1.0))?;
+    let window = SignificanceWindow::for_line(&reference, edge);
+    println!(
+        "inductance matters for global wires between {:.2} mm and {:.2} mm at a {} edge\n",
+        window.min_length.millimeters(),
+        window.max_length.millimeters(),
+        edge
+    );
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>12}",
+        "length", "RC (Sakurai)", "RLC (Eq. 9)", "RC error", "regime"
+    );
+    for mm in [1.0, 2.0, 5.0, 8.0, 12.0, 16.0, 20.0, 30.0, 40.0] {
+        let length = Length::from_millimeters(mm);
+        let line = tech.global_wire.line(length)?;
+        let load = GateRlcLoad::from_line(&line, driver, receiver)?;
+        let rc = sakurai_delay(&load);
+        let rlc = propagation_delay(&load);
+        let err = 100.0 * (rc.seconds() - rlc.seconds()) / rlc.seconds();
+        let regime = assess_inductance(&line, edge);
+        println!(
+            "{:>6.1}mm {:>14} {:>14} {:>9.1}% {:>12}",
+            mm,
+            rc.to_string(),
+            rlc.to_string(),
+            err,
+            format!("{regime:?}")
+        );
+    }
+
+    println!("\nnegative error = RC underestimates (short, inductive) ; positive = RC overestimates.");
+    Ok(())
+}

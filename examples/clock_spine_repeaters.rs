@@ -1,0 +1,54 @@
+//! Repeater insertion for a long clock spine: RC flow versus RLC flow.
+//!
+//! The motivating workload of the paper's Section III: a wide, low-resistance
+//! clock spine crossing a large die. An RC-only methodology (Bakoglu) inserts
+//! far more repeaters than the inductance-aware design, paying in delay, area
+//! and switching energy.
+//!
+//! Run with `cargo run --release --example clock_spine_repeaters`.
+
+use rlckit::prelude::*;
+use rlckit::repeater::comparison;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::quarter_micron();
+    let spine = tech.global_wire.line(Length::from_millimeters(50.0))?;
+
+    println!("clock spine: {} of {} global metal", spine.length(), tech.name);
+    let problem = RepeaterProblem::for_line(&spine, &tech)?;
+    println!("T_L/R = {:.2}\n", problem.t_l_over_r());
+
+    let designer = RepeaterDesigner::new(&spine, &tech);
+    println!(
+        "{:<18} {:>9} {:>10} {:>12} {:>14} {:>14}",
+        "strategy", "sections", "size (x)", "delay", "area (um^2)", "energy (fJ)"
+    );
+    for strategy in [
+        DesignStrategy::RcClosedForm,
+        DesignStrategy::RlcClosedForm,
+        DesignStrategy::Numerical,
+    ] {
+        let d = designer.design(strategy)?;
+        println!(
+            "{:<18} {:>9} {:>10.1} {:>12} {:>14.1} {:>14.2}",
+            format!("{strategy:?}"),
+            d.sections,
+            d.size,
+            d.total_delay.to_string(),
+            d.repeater_area.square_micrometers(),
+            d.switching_energy.joules() * 1e15,
+        );
+    }
+
+    // Continuous-variable comparison (the paper's Eqs. 16-18).
+    let cmp = comparison::compare(&problem)?;
+    println!("\ncontinuous-optimum comparison (RC design evaluated on the RLC line):");
+    println!("  delay increase from ignoring inductance:  {:.1}%", cmp.delay_increase_percent);
+    println!("  repeater area increase:                   {:.1}%", cmp.area_increase_percent);
+    println!("  switching-energy increase:                {:.1}%", cmp.energy_increase_percent);
+    println!(
+        "  paper's closed-form area-increase estimate (Eq. 18): {:.0}%",
+        comparison::area_increase_percent_closed_form(cmp.t_l_over_r)
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: estimate the delay of one wire three ways.
+//!
+//! Builds a 10 mm wide clock-class wire in the 0.25 µm technology preset,
+//! drives it with a 100× repeater, and prints the 50% propagation delay
+//! according to
+//!
+//! 1. the paper's closed-form RLC model (Eq. 9),
+//! 2. the classical RC baselines (Elmore, Sakurai),
+//! 3. the dynamic circuit simulator (the reproduction's stand-in for AS/X).
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rlckit::model::rc_models::{elmore_delay, sakurai_delay};
+use rlckit::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::quarter_micron();
+    let length = Length::from_millimeters(10.0);
+    let line = tech.global_wire.line(length)?;
+
+    // Clock spines this wide are driven by very large repeaters; 1000x the
+    // minimum buffer keeps the driver resistance comparable to the line
+    // resistance (RT = Rtr/Rt <= 1), the operating region the paper's model
+    // is fitted for.
+    let buffer_size = 1000.0;
+    let driver = tech.buffer_resistance(buffer_size)?;
+    let receiver = tech.buffer_capacitance(buffer_size)?;
+
+    println!("wire: {} of {} global metal", length, tech.name);
+    println!(
+        "  Rt = {}, Lt = {}, Ct = {}",
+        line.total_resistance(),
+        line.total_inductance(),
+        line.total_capacitance()
+    );
+    println!("driver: {buffer_size}x minimum buffer -> Rtr = {driver}, CL = {receiver}");
+
+    // Should this net be modelled with inductance at all?
+    let assessment = assess_inductance(&line, Time::from_picoseconds(50.0));
+    println!("inductance assessment at a 50 ps edge: {assessment:?}");
+
+    // 1. The paper's closed-form model.
+    let load = GateRlcLoad::from_line(&line, driver, receiver)?;
+    let rlc = propagation_delay(&load);
+    println!("\nclosed-form RLC delay (Eq. 9):  {rlc}   [zeta = {:.3}]", load.zeta());
+
+    // 2. RC baselines.
+    println!("Elmore (RC) delay:              {}", elmore_delay(&load));
+    println!("Sakurai (RC) delay:             {}", sakurai_delay(&load));
+
+    // 3. Dynamic simulation of the same circuit (distributed line as a ladder).
+    let spec = line.to_ladder_spec(driver, receiver, 60, Voltage::from_volts(1.0));
+    let sim = measure_step_delay(&spec)?;
+    println!("simulated delay (RLC ladder):   {}", sim.delay_50);
+    println!("simulated overshoot:            {:.1}%", sim.overshoot_percent);
+
+    let err = rlc.percent_error_vs(sim.delay_50);
+    println!("\nEq. (9) vs simulation error:    {err:.2}%");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! How the importance of inductance grows as technologies scale.
+//!
+//! The paper's closing argument: `T_{L/R} = sqrt((Lt/Rt)/(R0·C0))` grows as the
+//! intrinsic gate delay `R0·C0` shrinks, so each new technology generation pays
+//! a larger penalty for ignoring inductance. This example sweeps the built-in
+//! technology roadmap and reports, for the same physical wire, the delay and
+//! area penalties of an RC-only repeater methodology.
+//!
+//! Run with `cargo run --release --example technology_scaling`.
+
+use rlckit::prelude::*;
+use rlckit::repeater::comparison;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let length = Length::from_millimeters(30.0);
+    println!("fixed workload: a {length} wide global wire, re-evaluated in each technology\n");
+    println!(
+        "{:<10} {:>10} {:>8} {:>16} {:>16} {:>16}",
+        "node", "R0*C0", "T_L/R", "delay penalty", "area penalty", "energy penalty"
+    );
+
+    for tech in Technology::roadmap() {
+        let line = tech.global_wire.line(length)?;
+        let problem = RepeaterProblem::for_line(&line, &tech)?;
+        let cmp = comparison::compare(&problem)?;
+        println!(
+            "{:<10} {:>10} {:>8.2} {:>15.1}% {:>15.1}% {:>15.1}%",
+            tech.name,
+            tech.buffer_time_constant().to_string(),
+            cmp.t_l_over_r,
+            cmp.delay_increase_percent,
+            cmp.area_increase_percent,
+            cmp.energy_increase_percent,
+        );
+    }
+
+    println!("\nthe penalties grow monotonically as R0*C0 shrinks — the paper's scaling claim.");
+    Ok(())
+}

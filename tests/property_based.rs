@@ -1,0 +1,169 @@
+//! Property-based tests of the core model invariants.
+//!
+//! These complement the example-based tests with randomly drawn operating
+//! points: physical sanity (positivity, finiteness), the bracketing of the
+//! closed-form delay by its two limiting cases, monotonicity in each
+//! impedance, and the consistency of the repeater closed forms with their RC
+//! limits.
+
+use proptest::prelude::*;
+
+use rlckit::model::model::{lc_limit_delay, propagation_delay, rc_limit_delay, scaled_delay};
+use rlckit::prelude::*;
+use rlckit::repeater::rlc::{sections_error_factor, size_error_factor, t_l_over_r};
+
+/// Strategy for a physically plausible gate-driven RLC load:
+/// Rt ∈ [1 Ω, 10 kΩ], Lt ∈ [10 pH, 10 µH], Ct ∈ [10 fF, 10 pF],
+/// Rtr ∈ [0, 5 kΩ], CL ∈ [0, 5 pF].
+fn arb_load() -> impl Strategy<Value = GateRlcLoad> {
+    (
+        1.0f64..1e4,
+        1e-11f64..1e-5,
+        1e-14f64..1e-11,
+        0.0f64..5e3,
+        0.0f64..5e-12,
+    )
+        .prop_map(|(rt, lt, ct, rtr, cl)| {
+            GateRlcLoad::new(
+                Resistance::from_ohms(rt),
+                Inductance::from_henries(lt),
+                Capacitance::from_farads(ct),
+                Resistance::from_ohms(rtr),
+                Capacitance::from_farads(cl),
+            )
+            .expect("strategy only produces valid impedances")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn delay_is_positive_and_finite(load in arb_load()) {
+        let tpd = propagation_delay(&load);
+        prop_assert!(tpd.seconds() > 0.0);
+        prop_assert!(tpd.is_finite());
+        prop_assert!(load.zeta() > 0.0 && load.zeta().is_finite());
+    }
+
+    #[test]
+    fn delay_is_bracketed_by_its_limiting_cases(load in arb_load()) {
+        // The true delay is never faster than ~the time of flight and never
+        // slower than ~the RC limit plus the time of flight (loose physical
+        // bracketing of Eq. 9; the 0.9/1.1 factors absorb the fit wiggle).
+        let tpd = propagation_delay(&load).seconds();
+        let lc = lc_limit_delay(&load).seconds();
+        let rc = rc_limit_delay(&load).seconds();
+        prop_assert!(tpd >= 0.85 * lc, "tpd {tpd} vs LC limit {lc}");
+        prop_assert!(tpd <= 1.1 * (rc + lc), "tpd {tpd} vs RC+LC {}", rc + lc);
+    }
+
+    #[test]
+    fn delay_is_monotone_in_every_impedance(load in arb_load(), factor in 1.05f64..3.0) {
+        let base = propagation_delay(&load).seconds();
+        let grow = |rt: f64, lt: f64, ct: f64, rtr: f64, cl: f64| {
+            GateRlcLoad::new(
+                Resistance::from_ohms(rt),
+                Inductance::from_henries(lt),
+                Capacitance::from_farads(ct),
+                Resistance::from_ohms(rtr),
+                Capacitance::from_farads(cl),
+            )
+            .expect("valid")
+        };
+        let rt = load.total_resistance().ohms();
+        let lt = load.total_inductance().henries();
+        let ct = load.total_capacitance().farads();
+        let rtr = load.driver_resistance().ohms();
+        let cl = load.load_capacitance().farads();
+        // Growing any single impedance cannot make the line faster
+        // (tolerance covers the small non-monotone dip of Eq. 9 near ζ ≈ 0.3).
+        for bigger in [
+            grow(rt * factor, lt, ct, rtr, cl),
+            grow(rt, lt * factor, ct, rtr, cl),
+            grow(rt, lt, ct * factor, rtr, cl),
+            grow(rt, lt, ct, rtr * factor + 1.0, cl),
+            grow(rt, lt, ct, rtr, cl * factor + 1e-15),
+        ] {
+            let slower = propagation_delay(&bigger).seconds();
+            prop_assert!(slower >= 0.93 * base, "delay dropped from {base} to {slower}");
+        }
+    }
+
+    #[test]
+    fn scaled_and_physical_delay_are_consistent(load in arb_load(), impedance_scale in 0.1f64..10.0) {
+        // Exact identity: the physical delay is the scaled delay divided by ωn.
+        let direct = scaled_delay(load.zeta());
+        let via_time = propagation_delay(&load).seconds() * load.omega_n();
+        prop_assert!((direct - via_time).abs() < 1e-9 * direct.max(1.0));
+        // Impedance-level scaling: dividing every resistance and inductance by s
+        // while multiplying every capacitance by s preserves all time constants
+        // (R·C, L/R, L·C), so RT, CT, ζ and ωn — and therefore the delay — must
+        // all be exactly unchanged.
+        let scaled_load = GateRlcLoad::new(
+            load.total_resistance() / impedance_scale,
+            load.total_inductance() / impedance_scale,
+            load.total_capacitance() * impedance_scale,
+            load.driver_resistance() / impedance_scale,
+            load.load_capacitance() * impedance_scale,
+        ).expect("valid");
+        prop_assert!((scaled_load.zeta() - load.zeta()).abs() < 1e-9 * load.zeta());
+        let d0 = propagation_delay(&load).seconds();
+        let d1 = propagation_delay(&scaled_load).seconds();
+        prop_assert!((d0 - d1).abs() < 1e-9 * d0);
+    }
+
+    #[test]
+    fn repeater_error_factors_stay_in_unit_interval(t in 0.0f64..20.0) {
+        let h = size_error_factor(t);
+        let k = sections_error_factor(t);
+        prop_assert!(h > 0.0 && h <= 1.0);
+        prop_assert!(k > 0.0 && k <= 1.0);
+    }
+
+    #[test]
+    fn t_l_over_r_scales_as_square_root_of_inductance(
+        rt in 1.0f64..1e3,
+        lt in 1e-10f64..1e-6,
+        tau_ps in 1.0f64..100.0,
+    ) {
+        let tau = Time::from_picoseconds(tau_ps);
+        let t1 = t_l_over_r(Resistance::from_ohms(rt), Inductance::from_henries(lt), tau);
+        let t4 = t_l_over_r(Resistance::from_ohms(rt), Inductance::from_henries(4.0 * lt), tau);
+        prop_assert!((t4 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeater_designs_are_physical(
+        rt in 10.0f64..2e3,
+        lt in 1e-9f64..1e-6,
+        ct in 1e-12f64..3e-11,
+    ) {
+        let tech = Technology::quarter_micron();
+        let problem = RepeaterProblem::new(
+            Resistance::from_ohms(rt),
+            Inductance::from_henries(lt),
+            Capacitance::from_farads(ct),
+            tech.min_buffer_resistance,
+            tech.min_buffer_capacitance,
+            tech.min_buffer_area,
+            tech.supply,
+        ).expect("valid problem");
+        let rc = problem.bakoglu_optimum();
+        let rlc = problem.rlc_optimum();
+        prop_assert!(rc.size > 0.0 && rlc.size > 0.0);
+        prop_assert!(rc.sections >= 1.0 && rlc.sections >= 1.0);
+        prop_assert!(rlc.sections <= rc.sections + 1e-9);
+        prop_assert!(rlc.size <= rc.size + 1e-9);
+        prop_assert!(rlc.total_delay.seconds() <= rc.total_delay.seconds() * 1.005);
+    }
+
+    #[test]
+    fn unit_round_trips(ohms in 0.0f64..1e9, farads in 0.0f64..1.0, meters in 0.0f64..1.0) {
+        prop_assert_eq!(Resistance::from_ohms(ohms).ohms(), ohms);
+        prop_assert_eq!(Capacitance::from_farads(farads).farads(), farads);
+        prop_assert_eq!(Length::from_meters(meters).meters(), meters);
+        let t = Resistance::from_ohms(ohms) * Capacitance::from_farads(farads);
+        prop_assert!((t.seconds() - ohms * farads).abs() <= 1e-12 * (ohms * farads).abs());
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration test: the full repeater-insertion flow on physical wires.
+//!
+//! Exercises the path a user would follow — technology preset, wire class,
+//! designer — and checks the paper's qualitative and quantitative claims:
+//! the closed form tracks the numerical optimum, the RC design is never
+//! better and wastes area, and a single section of the chosen design is
+//! accurately described by Eq. (9) when checked against the simulator.
+
+use rlckit::circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
+use rlckit::prelude::*;
+use rlckit::repeater::comparison::{area_increase_percent_closed_form, compare};
+use rlckit::repeater::numerical::optimize;
+
+#[test]
+fn designer_produces_consistent_integer_designs() {
+    let tech = Technology::quarter_micron();
+    for (wire, mm) in [
+        (tech.global_wire, 50.0),
+        (tech.intermediate_wire, 10.0),
+        (tech.intermediate_wire, 30.0),
+    ] {
+        let line = wire.line(Length::from_millimeters(mm)).expect("valid line");
+        let designer = RepeaterDesigner::new(&line, &tech);
+        let rlc = designer.design(DesignStrategy::RlcClosedForm).expect("design");
+        let numerical = designer.design(DesignStrategy::Numerical).expect("design");
+        let rc = designer.design(DesignStrategy::RcClosedForm).expect("design");
+
+        assert!(rlc.sections >= 1 && rc.sections >= 1);
+        assert!(rlc.size > 1.0);
+        // The closed form and the numerical optimum agree closely after rounding.
+        let diff = (rlc.total_delay.seconds() - numerical.total_delay.seconds()).abs()
+            / numerical.total_delay.seconds();
+        assert!(diff < 0.03, "{mm} mm wire: closed form vs numerical differ by {diff}");
+        // The RC flow is never faster and never smaller.
+        assert!(rc.total_delay.seconds() >= rlc.total_delay.seconds() * 0.995);
+        assert!(rc.repeater_area.square_meters() >= rlc.repeater_area.square_meters() * 0.999);
+        // Section lengths partition the wire exactly.
+        assert!(
+            (rlc.section_length.meters() * rlc.sections as f64 - line.length().meters()).abs()
+                < 1e-12
+        );
+    }
+}
+
+#[test]
+fn closed_form_repeater_design_tracks_numerical_optimum_over_t_sweep() {
+    // The Fig. 4 claim in test form: over a T_L/R sweep the closed-form design's
+    // total delay stays within a fraction of a per cent of the numerical optimum.
+    let tech = Technology::quarter_micron();
+    let rt = 250.0;
+    let ct = 15e-12;
+    let tau = tech.buffer_time_constant().seconds();
+    for t_l_over_r in [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0] {
+        let lt = t_l_over_r * t_l_over_r * tau * rt;
+        let problem = RepeaterProblem::new(
+            Resistance::from_ohms(rt),
+            Inductance::from_henries(lt),
+            Capacitance::from_farads(ct),
+            tech.min_buffer_resistance,
+            tech.min_buffer_capacitance,
+            Area::from_square_micrometers(4.0),
+            tech.supply,
+        )
+        .expect("valid problem");
+        let closed = problem.rlc_optimum();
+        let numerical = optimize(&problem).expect("numerical optimum");
+        let excess = (closed.total_delay.seconds() - numerical.design.total_delay.seconds())
+            / numerical.design.total_delay.seconds();
+        assert!(
+            excess.abs() < 0.01,
+            "T_L/R = {t_l_over_r}: closed-form delay excess {excess}"
+        );
+    }
+}
+
+#[test]
+fn ignoring_inductance_costs_delay_and_area_as_the_paper_quantifies() {
+    let tech = Technology::quarter_micron();
+    let rt = 250.0;
+    let ct = 15e-12;
+    let tau = tech.buffer_time_constant().seconds();
+
+    // T_L/R = 5, the value the paper calls common for wide 0.25 µm wires.
+    let lt = 25.0 * tau * rt;
+    let problem = RepeaterProblem::new(
+        Resistance::from_ohms(rt),
+        Inductance::from_henries(lt),
+        Capacitance::from_farads(ct),
+        tech.min_buffer_resistance,
+        tech.min_buffer_capacitance,
+        Area::from_square_micrometers(4.0),
+        tech.supply,
+    )
+    .expect("valid problem");
+    let cmp = compare(&problem).expect("comparison");
+    assert!((cmp.t_l_over_r - 5.0).abs() < 1e-9);
+    // Delay penalty in the paper's range (≈20% at T = 5).
+    assert!(
+        cmp.delay_increase_percent > 10.0 && cmp.delay_increase_percent < 35.0,
+        "delay penalty at T_L/R = 5 is {:.1}%",
+        cmp.delay_increase_percent
+    );
+    // Area penalty close to the paper's 435% closed-form value.
+    let closed_form = area_increase_percent_closed_form(5.0);
+    assert!((closed_form - 435.0).abs() < 15.0);
+    assert!(
+        cmp.area_increase_percent > 200.0,
+        "exact area penalty at T_L/R = 5 is only {:.0}%",
+        cmp.area_increase_percent
+    );
+    // And the energy penalty is substantial too (the paper's power argument).
+    assert!(cmp.energy_increase_percent > 20.0);
+}
+
+#[test]
+fn one_section_of_the_chosen_design_is_accurately_modelled() {
+    // Close the loop with the simulator: take the RLC-optimal design of a long
+    // intermediate wire, carve out one section, and check Eq. (9) against the
+    // transient simulation of that section.
+    let tech = Technology::quarter_micron();
+    let line = tech
+        .intermediate_wire
+        .line(Length::from_millimeters(20.0))
+        .expect("valid line");
+    let problem = RepeaterProblem::for_line(&line, &tech).expect("valid problem");
+    let design = problem.rlc_optimum();
+    let section = problem
+        .section_load(design.size, design.sections.max(1.0))
+        .expect("valid section");
+
+    let model = propagation_delay(&section);
+    let spec = LadderSpec {
+        total_resistance: section.total_resistance(),
+        total_inductance: section.total_inductance(),
+        total_capacitance: section.total_capacitance(),
+        segments: 40,
+        style: SegmentStyle::Pi,
+        driver_resistance: section.driver_resistance(),
+        load_capacitance: section.load_capacitance(),
+        supply: Voltage::from_volts(1.0),
+    };
+    let sim = measure_step_delay(&spec).expect("simulation runs");
+    let err = model.percent_error_vs(sim.delay_50);
+    assert!(err < 7.0, "section delay model error {err:.2}%");
+}
