@@ -59,9 +59,7 @@ fn bench_delay_estimators(c: &mut Criterion) {
     let driven = driven_line();
 
     let mut group = c.benchmark_group("delay_estimators");
-    group.bench_function("closed_form_eq9", |b| {
-        b.iter(|| propagation_delay(black_box(&load)))
-    });
+    group.bench_function("closed_form_eq9", |b| b.iter(|| propagation_delay(black_box(&load))));
     group.bench_function("two_pole_analytic", |b| {
         b.iter(|| TwoPoleResponse::of(black_box(&load)).delay_50().expect("crossing"))
     });

@@ -17,10 +17,7 @@ use rlckit_units::Length;
 
 fn problem() -> (rlckit_interconnect::DistributedLine, Technology) {
     let tech = Technology::quarter_micron();
-    let line = tech
-        .global_wire
-        .line(Length::from_millimeters(50.0))
-        .expect("valid line");
+    let line = tech.global_wire.line(Length::from_millimeters(50.0)).expect("valid line");
     (line, tech)
 }
 

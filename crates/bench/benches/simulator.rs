@@ -30,11 +30,9 @@ fn bench_simulator_segments(c: &mut Criterion) {
     let mut group = c.benchmark_group("transient_ladder");
     group.sample_size(10);
     for segments in [10usize, 20, 40, 80] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(segments),
-            &segments,
-            |b, &segments| b.iter(|| measure_step_delay(black_box(&spec(segments))).expect("simulates")),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, &segments| {
+            b.iter(|| measure_step_delay(black_box(&spec(segments))).expect("simulates"))
+        });
     }
     group.finish();
 }

@@ -80,7 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "worst-case total-delay excess of the closed form vs the numerical optimum: {worst_excess:.3}%"
         );
-        println!("paper's claim: the closed forms are within 0.05% in total delay — effectively exact.");
+        println!(
+            "paper's claim: the closed forms are within 0.05% in total delay — effectively exact."
+        );
         println!("note how both h' and k' fall towards zero as T_L/R grows: inductive lines want");
         println!("fewer and relatively smaller repeaters.");
     }

@@ -27,14 +27,9 @@ fn delay_at(length_mm: f64, l_per_mm: f64) -> f64 {
     let c = CapacitancePerLength::from_farads_per_meter(C_PER_MM * 1e3);
     let l = InductancePerLength::from_henries_per_meter(l_per_mm * 1e3);
     let length = Length::from_millimeters(length_mm);
-    let load = GateRlcLoad::new(
-        r * length,
-        l * length,
-        c * length,
-        Resistance::ZERO,
-        Capacitance::ZERO,
-    )
-    .expect("positive impedances");
+    let load =
+        GateRlcLoad::new(r * length, l * length, c * length, Resistance::ZERO, Capacitance::ZERO)
+            .expect("positive impedances");
     propagation_delay(&load).seconds()
 }
 

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let line = wire.line(Length::from_millimeters(mm))?;
         let problem = RepeaterProblem::for_line(&line, &tech)?;
         let mut table = Table::new(
-            format!("delay/area/energy vs section count — {name} (T_L/R = {:.2})", problem.t_l_over_r()),
+            format!(
+                "delay/area/energy vs section count — {name} (T_L/R = {:.2})",
+                problem.t_l_over_r()
+            ),
             &["sections", "size (x)", "delay (ps)", "area (um^2)", "energy (fJ)"],
         );
         for point in sections_sweep(&problem, 10)? {

@@ -30,11 +30,7 @@ impl Table {
     ///
     /// Panics if the number of cells differs from the number of headers.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row must have one cell per header"
-        );
+        assert_eq!(cells.len(), self.headers.len(), "row must have one cell per header");
         self.rows.push(cells);
     }
 
@@ -58,20 +54,13 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let header: Vec<String> = self
-            .headers
-            .iter()
-            .zip(widths.iter())
-            .map(|(h, w)| format!("{h:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.headers.iter().zip(widths.iter()).map(|(h, w)| format!("{h:>w$}")).collect();
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .zip(widths.iter())
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
+            let line: Vec<String> =
+                row.iter().zip(widths.iter()).map(|(c, w)| format!("{c:>w$}")).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         out
@@ -100,6 +89,121 @@ impl Table {
 /// Returns `true` if the process arguments request CSV output (`--csv`).
 pub fn csv_requested() -> bool {
     std::env::args().any(|a| a == "--csv")
+}
+
+/// One measured quantity in a performance report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Name of the measurement (e.g. `"banded/500"`).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit of the value (e.g. `"seconds"`, `"x"`).
+    pub unit: String,
+}
+
+/// A machine-readable performance report, serialised as `BENCH_<name>.json`.
+///
+/// This is the workspace's perf-trajectory format: each benchmark that wants
+/// its numbers tracked over time appends records here and calls
+/// [`PerfReport::write`], producing a flat JSON document that external
+/// tooling can diff across commits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    bench: String,
+    records: Vec<PerfRecord>,
+}
+
+impl PerfReport {
+    /// Creates an empty report for the benchmark `bench`.
+    pub fn new(bench: impl Into<String>) -> Self {
+        Self { bench: bench.into(), records: Vec::new() }
+    }
+
+    /// Appends one measurement.
+    pub fn push(&mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) {
+        self.records.push(PerfRecord { name: name.into(), value, unit: unit.into() });
+    }
+
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Renders the report as a JSON document.
+    ///
+    /// The format is deliberately flat and dependency-free:
+    /// `{"bench": …, "results": [{"name": …, "value": …, "unit": …}, …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", escape_json(&self.bench));
+        let _ = writeln!(out, "  \"results\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}",
+                escape_json(&r.name),
+                json_number(r.value),
+                escape_json(&r.unit)
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// The canonical file name for this report: `BENCH_<bench>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.bench)
+    }
+
+    /// Writes the report to `BENCH_<bench>.json` under `dir`, returning the
+    /// path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be written.
+    pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Escapes backslash, quote and control characters so the emitted string
+/// literal is always valid JSON.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a number so the output is always valid JSON (no NaN/inf literals).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +248,34 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
         assert!(t.to_csv().starts_with("a"));
+    }
+
+    #[test]
+    fn perf_report_renders_valid_flat_json() {
+        let mut r = PerfReport::new("solver_scaling");
+        assert!(r.is_empty());
+        r.push("dense/100", 0.125, "seconds");
+        r.push("speedup/500", f64::INFINITY, "x");
+        assert_eq!(r.len(), 2);
+        // Control characters and quotes in names must be escaped, not emitted raw.
+        assert_eq!(escape_json("a\n\"b\"\u{1}"), "a\\n\\\"b\\\"\\u0001");
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"bench\": \"solver_scaling\""));
+        assert!(json.contains("\"name\": \"dense/100\", \"value\": 0.125, \"unit\": \"seconds\""));
+        // Non-finite values must not produce invalid JSON.
+        assert!(json.contains("\"value\": null"));
+        assert_eq!(r.file_name(), "BENCH_solver_scaling.json");
+    }
+
+    #[test]
+    fn perf_report_writes_its_file() {
+        let mut r = PerfReport::new("report_unit_test");
+        r.push("x", 1.0, "seconds");
+        let dir = std::env::temp_dir();
+        let path = r.write(&dir).expect("writable temp dir");
+        let body = std::fs::read_to_string(&path).expect("file exists");
+        assert_eq!(body, r.to_json());
+        let _ = std::fs::remove_file(path);
     }
 }

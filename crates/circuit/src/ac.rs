@@ -5,14 +5,19 @@
 //! functions of the lumped circuit, used to cross-check the transient solver
 //! and to compare a segmented ladder against the exact distributed-line
 //! two-port of the `interconnect` crate.
+//!
+//! The complex system is assembled in band form and factorised through the
+//! pluggable solver backend, so frequency sweeps over long ladders run on the
+//! banded `O(n·b²)` kernel rather than the dense `O(n³)` one.
 
 use rlckit_numeric::complex::Complex;
-use rlckit_numeric::lu::LuFactor;
+use rlckit_numeric::solver::SolverBackend;
 use rlckit_units::Frequency;
 
 use crate::error::CircuitError;
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId, SourceId};
+use crate::solve::FactoredMna;
 
 /// Complex-frequency solution of a circuit for one excitation.
 #[derive(Debug, Clone)]
@@ -38,11 +43,29 @@ impl AcSolution {
 ///
 /// Returns [`CircuitError::EmptyCircuit`], [`CircuitError::UnknownSource`], or
 /// [`CircuitError::SingularSystem`] if the complex system cannot be factorised.
-pub fn solve_at(circuit: &Circuit, source: SourceId, s: Complex) -> Result<AcSolution, CircuitError> {
+pub fn solve_at(
+    circuit: &Circuit,
+    source: SourceId,
+    s: Complex,
+) -> Result<AcSolution, CircuitError> {
+    solve_at_with(circuit, source, s, SolverBackend::Auto)
+}
+
+/// Like [`solve_at`], with an explicit choice of solver backend.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_at`].
+pub fn solve_at_with(
+    circuit: &Circuit,
+    source: SourceId,
+    s: Complex,
+    backend: SolverBackend,
+) -> Result<AcSolution, CircuitError> {
     let mna = MnaSystem::build(circuit)?;
-    let a = mna.complex_system(s);
+    let a = mna.assemble_complex(s);
     let b = mna.unit_excitation(source)?;
-    let factor = LuFactor::new(&a).map_err(|_| CircuitError::SingularSystem { stage: "ac analysis" })?;
+    let factor = FactoredMna::factor(&mna, &a, backend, "ac analysis")?;
     let state = factor.solve(&b);
     Ok(AcSolution { state })
 }
@@ -77,10 +100,22 @@ pub fn frequency_sweep(
     node: NodeId,
     frequencies: &[Frequency],
 ) -> Result<Vec<(Frequency, f64, f64)>, CircuitError> {
+    circuit.validate_node(node)?;
+    // Assemble the stamps and ordering once; only the factorisation depends
+    // on the frequency.
+    let mna = MnaSystem::build(circuit)?;
+    let b = mna.unit_excitation(source)?;
+    let row = mna.row_of_node(node);
     let mut out = Vec::with_capacity(frequencies.len());
     for &f in frequencies {
         let s = Complex::new(0.0, f.angular());
-        let h = transfer_function(circuit, source, node, s)?;
+        let a = mna.assemble_complex(s);
+        let factor = FactoredMna::factor(&mna, &a, SolverBackend::Auto, "ac analysis")?;
+        let state = factor.solve(&b);
+        let h = match row {
+            Some(r) => state[r],
+            None => Complex::ZERO,
+        };
         out.push((f, h.abs(), h.arg()));
     }
     Ok(out)
@@ -148,10 +183,8 @@ mod tests {
         c.add_inductor(mid, out, Inductance::from_nanohenries(10.0)).unwrap();
         c.add_capacitor(out, gnd, Capacitance::from_picofarads(1.0)).unwrap();
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (10e-9f64 * 1e-12).sqrt());
-        let freqs: Vec<Frequency> = [0.2, 0.5, 1.0, 2.0, 5.0]
-            .iter()
-            .map(|m| Frequency::from_hertz(m * f0))
-            .collect();
+        let freqs: Vec<Frequency> =
+            [0.2, 0.5, 1.0, 2.0, 5.0].iter().map(|m| Frequency::from_hertz(m * f0)).collect();
         let sweep = frequency_sweep(&c, src, out, &freqs).unwrap();
         assert_eq!(sweep.len(), 5);
         let gains: Vec<f64> = sweep.iter().map(|(_, g, _)| *g).collect();
@@ -159,6 +192,33 @@ mod tests {
         assert!(gains[2] > 2.0, "resonant gain {}", gains[2]);
         // Well above resonance the line attenuates.
         assert!(gains[4] < 0.2, "high-frequency gain {}", gains[4]);
+    }
+
+    #[test]
+    fn backends_agree_on_a_ladder_transfer_function() {
+        use crate::ladder::{LadderSpec, SegmentStyle};
+        use rlckit_units::Voltage;
+        let spec = LadderSpec {
+            total_resistance: Resistance::from_ohms(500.0),
+            total_inductance: Inductance::from_nanohenries(10.0),
+            total_capacitance: Capacitance::from_picofarads(1.0),
+            segments: 30,
+            style: SegmentStyle::Pi,
+            driver_resistance: Resistance::from_ohms(250.0),
+            load_capacitance: Capacitance::from_picofarads(0.1),
+            supply: Voltage::from_volts(1.0),
+        };
+        let line = spec.build().unwrap();
+        for &(re, im) in &[(0.0, 1e9), (5e8, -2e9), (1e9, 0.0)] {
+            let s = Complex::new(re, im);
+            let dense = solve_at_with(&line.circuit, line.source, s, SolverBackend::Dense)
+                .unwrap()
+                .node_voltage(line.output);
+            let banded = solve_at_with(&line.circuit, line.source, s, SolverBackend::Banded)
+                .unwrap()
+                .node_voltage(line.output);
+            assert!((dense - banded).abs() < 1e-9, "s = {s}: {dense} vs {banded}");
+        }
     }
 
     #[test]

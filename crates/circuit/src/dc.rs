@@ -4,13 +4,18 @@
 //! (capacitors open, inductors short — both fall out naturally from the MNA
 //! formulation when `dx/dt = 0`). Used to obtain consistent initial
 //! conditions for transient analysis.
+//!
+//! Like every analysis in this crate, the factorisation goes through the
+//! pluggable solver backend: ladder-shaped circuits are solved by the banded
+//! kernel in `O(n·b²)` instead of the dense `O(n³)`.
 
-use rlckit_numeric::lu::LuFactor;
+use rlckit_numeric::solver::SolverBackend;
 use rlckit_units::{Time, Voltage};
 
 use crate::error::CircuitError;
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId};
+use crate::solve::factor_real;
 
 /// Result of a DC operating-point analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,11 +53,7 @@ impl DcSolution {
 /// [`CircuitError::SingularSystem`] if the DC system cannot be solved.
 pub fn operating_point_at(circuit: &Circuit, t: Time) -> Result<DcSolution, CircuitError> {
     let mna = MnaSystem::build(circuit)?;
-    let factor = LuFactor::new(mna.g()).map_err(|_| CircuitError::SingularSystem { stage: "dc analysis" })?;
-    let mut b = vec![0.0; mna.dim()];
-    mna.rhs_at(t, &mut b);
-    let state = factor.solve(&b);
-    Ok(DcSolution { state, node_unknowns: mna.node_unknowns() })
+    operating_point_of(&mna, t, SolverBackend::Auto)
 }
 
 /// Computes the DC operating point with sources evaluated at `t = 0`.
@@ -62,6 +63,25 @@ pub fn operating_point_at(circuit: &Circuit, t: Time) -> Result<DcSolution, Circ
 /// Same conditions as [`operating_point_at`].
 pub fn operating_point(circuit: &Circuit) -> Result<DcSolution, CircuitError> {
     operating_point_at(circuit, Time::ZERO)
+}
+
+/// Computes the DC operating point of an already-assembled system with an
+/// explicit backend choice (used by the transient solver to reuse its
+/// [`MnaSystem`] and backend policy for the initial condition).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SingularSystem`] if the DC system cannot be solved.
+pub fn operating_point_of(
+    mna: &MnaSystem,
+    t: Time,
+    backend: SolverBackend,
+) -> Result<DcSolution, CircuitError> {
+    let factor = factor_real(mna, 1.0, 0.0, backend, "dc analysis")?;
+    let mut b = vec![0.0; mna.dim()];
+    mna.rhs_at(t, &mut b);
+    let state = factor.solve(&b);
+    Ok(DcSolution { state, node_unknowns: mna.node_unknowns() })
 }
 
 #[cfg(test)]
@@ -133,5 +153,31 @@ mod tests {
     fn empty_circuit_is_rejected() {
         let c = Circuit::new();
         assert!(matches!(operating_point(&c), Err(CircuitError::EmptyCircuit)));
+    }
+
+    #[test]
+    fn forced_backends_agree_on_the_operating_point() {
+        let mut c = Circuit::new();
+        let gnd = c.ground();
+        let input = c.add_node();
+        c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        let mut prev = input;
+        for _ in 0..20 {
+            let mid = c.add_node();
+            let next = c.add_node();
+            c.add_resistor(prev, mid, Resistance::from_ohms(10.0)).unwrap();
+            c.add_inductor(mid, next, Inductance::from_picohenries(100.0)).unwrap();
+            c.add_capacitor(next, gnd, Capacitance::from_femtofarads(5.0)).unwrap();
+            prev = next;
+        }
+        let mna = MnaSystem::build(&c).unwrap();
+        let t = Time::from_picoseconds(2.0);
+        let dense = operating_point_of(&mna, t, SolverBackend::Dense).unwrap();
+        let banded = operating_point_of(&mna, t, SolverBackend::Banded).unwrap();
+        for (d, b) in dense.state().iter().zip(banded.state().iter()) {
+            assert!((d - b).abs() < 1e-9);
+        }
+        assert!((dense.node_voltage(prev).volts() - 1.0).abs() < 1e-6);
+        assert_eq!(dense.node_voltages().len(), mna.node_unknowns());
     }
 }

@@ -50,7 +50,9 @@ impl fmt::Display for CircuitError {
             Self::InvalidValue { what, value } => {
                 write!(f, "invalid {what}: {value}")
             }
-            Self::UnknownNode { index } => write!(f, "node {index} does not belong to this circuit"),
+            Self::UnknownNode { index } => {
+                write!(f, "node {index} does not belong to this circuit")
+            }
             Self::UnknownSource { index } => {
                 write!(f, "source {index} does not belong to this circuit")
             }

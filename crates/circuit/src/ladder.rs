@@ -15,7 +15,7 @@ use rlckit_units::{Capacitance, Inductance, Resistance, Time, Voltage};
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId, SourceId};
 use crate::source::SourceWaveform;
-use crate::transient::{run_transient, Integration, TransientOptions};
+use crate::transient::{run_transient, TransientOptions};
 use crate::waveform::Waveform;
 
 /// Lumped-segment topology used to discretise the distributed line.
@@ -245,14 +245,14 @@ pub fn measure_step_delay(spec: &LadderSpec) -> Result<StepDelayMeasurement, Cir
     let mut last_error = None;
     for _ in 0..4 {
         let step = spec.suggested_timestep().min(stop / 2000.0);
-        let options = TransientOptions { stop_time: stop, step, method: Integration::Trapezoidal };
+        let options = TransientOptions::new(stop, step);
         let result = run_transient(&line.circuit, &options)?;
         let wave = result.node_voltage(line.output);
         match measurement_from_waveform(&wave, spec.supply) {
             Ok(m) => return Ok(m),
             Err(e) => {
                 last_error = Some(e);
-                stop = stop * 4.0;
+                stop *= 4.0;
             }
         }
     }
@@ -261,7 +261,10 @@ pub fn measure_step_delay(spec: &LadderSpec) -> Result<StepDelayMeasurement, Cir
     }))
 }
 
-fn measurement_from_waveform(wave: &Waveform, supply: Voltage) -> Result<StepDelayMeasurement, CircuitError> {
+fn measurement_from_waveform(
+    wave: &Waveform,
+    supply: Voltage,
+) -> Result<StepDelayMeasurement, CircuitError> {
     let delay_50 = wave.delay_50(supply)?;
     let rise_time = wave.rise_time(supply)?;
     let overshoot_percent = wave.overshoot_percent(supply);
@@ -350,7 +353,11 @@ mod tests {
         let rt_ct = 1000.0 * 1e-12;
         let expected = 0.377 * rt_ct;
         let err = (m.delay_50.seconds() - expected).abs() / expected;
-        assert!(err < 0.05, "delay {} vs distributed-RC {expected}, err {err}", m.delay_50.seconds());
+        assert!(
+            err < 0.05,
+            "delay {} vs distributed-RC {expected}, err {err}",
+            m.delay_50.seconds()
+        );
         assert_eq!(m.overshoot_percent, 0.0);
         assert!(m.rise_time.seconds() > 0.0);
     }

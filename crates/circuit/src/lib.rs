@@ -15,7 +15,10 @@
 //!
 //! * [`netlist`] — circuit construction ([`Circuit`], [`NodeId`], elements);
 //! * [`source`] — independent source waveforms (step, ramp, pulse, PWL);
-//! * [`mna`] — assembly of the `G·x + C·dx/dt = b(t)` system;
+//! * [`mna`] — structure-preserving assembly of the `G·x + C·dx/dt = b(t)`
+//!   system, with bandwidth detection under a reverse Cuthill–McKee ordering;
+//! * [`solve`] — the circuit-side face of the pluggable dense/banded
+//!   [`SolverBackend`];
 //! * [`dc`] — DC operating point;
 //! * [`transient`] — fixed-step transient analysis (backward Euler or
 //!   trapezoidal);
@@ -29,6 +32,7 @@
 //! ```
 //! use rlckit_circuit::ladder::{LadderSpec, SegmentStyle};
 //! use rlckit_circuit::transient::{run_transient, Integration, TransientOptions};
+//! use rlckit_circuit::SolverBackend;
 //! use rlckit_units::{Capacitance, Inductance, Resistance, Time, Voltage};
 //!
 //! # fn main() -> Result<(), rlckit_circuit::CircuitError> {
@@ -47,6 +51,7 @@
 //!     stop_time: Time::from_nanoseconds(2.0),
 //!     step: Time::from_picoseconds(1.0),
 //!     method: Integration::Trapezoidal,
+//!     backend: SolverBackend::Auto,
 //! };
 //! let result = run_transient(&line.circuit, &options)?;
 //! let vout = result.node_voltage(line.output);
@@ -65,11 +70,13 @@ pub mod error;
 pub mod ladder;
 pub mod mna;
 pub mod netlist;
+pub mod solve;
 pub mod source;
 pub mod transient;
 pub mod waveform;
 
 pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId, SourceId};
+pub use rlckit_numeric::solver::{ResolvedBackend, SolverBackend};
 pub use source::SourceWaveform;
 pub use waveform::Waveform;

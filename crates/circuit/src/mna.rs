@@ -7,16 +7,25 @@
 //! ```
 //!
 //! where `x` stacks the non-ground node voltages followed by the branch
-//! currents of voltage sources and inductors. [`MnaSystem::build`] assembles
-//! the constant `G` and `C` matrices once; analyses then evaluate the
-//! time-varying right-hand side `b(t)` as needed.
+//! currents of voltage sources and inductors. [`MnaSystem::build`] collects
+//! the element stamps of the constant `G` and `C` matrices in
+//! structure-preserving triplet form — no dense matrix is materialised during
+//! assembly — and immediately computes a reverse Cuthill–McKee ordering of
+//! the unknowns together with the bandwidth it achieves. Analyses then
+//! assemble whatever combination of `G` and `C` they need directly into band
+//! storage ([`MnaSystem::assemble_real`] / [`MnaSystem::assemble_complex`])
+//! and hand it to a [`SolverBackend`](rlckit_numeric::solver::SolverBackend),
+//! which picks the banded `O(n·b²)` kernel for ladder-shaped circuits and the
+//! dense kernel otherwise.
 //!
 //! A small conductance (`GMIN`) is added from every node to ground so that
 //! circuits with capacitor-only nodes still have a non-singular `G`, matching
 //! common SPICE practice.
 
+use rlckit_numeric::banded::BandedMatrix;
 use rlckit_numeric::complex::Complex;
-use rlckit_numeric::matrix::Matrix;
+use rlckit_numeric::matrix::{Matrix, Scalar};
+use rlckit_numeric::ordering::{gather, permuted_bandwidth, reverse_cuthill_mckee, scatter};
 use rlckit_units::Time;
 
 use crate::error::CircuitError;
@@ -26,21 +35,17 @@ use crate::source::SourceWaveform;
 /// Minimum conductance to ground added at every node (siemens).
 pub const GMIN: f64 = 1e-12;
 
+/// One additive contribution to a system matrix: `matrix[row][col] += value`.
+type Stamp = (usize, usize, f64);
+
 /// Right-hand-side contribution of one independent source.
 #[derive(Debug, Clone)]
 enum SourceStamp {
     /// Voltage source occupying the given branch row.
-    Voltage {
-        row: usize,
-        waveform: SourceWaveform,
-    },
+    Voltage { row: usize, waveform: SourceWaveform },
     /// Current source injecting into `plus_row` and drawing from `minus_row`
     /// (either may be `None` when that terminal is ground).
-    Current {
-        plus_row: Option<usize>,
-        minus_row: Option<usize>,
-        waveform: SourceWaveform,
-    },
+    Current { plus_row: Option<usize>, minus_row: Option<usize>, waveform: SourceWaveform },
 }
 
 /// The assembled MNA system of a circuit.
@@ -48,14 +53,21 @@ enum SourceStamp {
 pub struct MnaSystem {
     node_unknowns: usize,
     dim: usize,
-    g: Matrix<f64>,
-    c: Matrix<f64>,
+    g_stamps: Vec<Stamp>,
+    c_stamps: Vec<Stamp>,
     sources: Vec<SourceStamp>,
     source_ids: Vec<usize>,
+    /// Bandwidth-reducing relabelling of the unknowns: `perm[logical] = packed`.
+    perm: Vec<usize>,
+    /// Lower bandwidth of the union pattern of `G` and `C` under `perm`.
+    kl: usize,
+    /// Upper bandwidth of the union pattern of `G` and `C` under `perm`.
+    ku: usize,
 }
 
 impl MnaSystem {
-    /// Assembles the MNA matrices for a circuit.
+    /// Assembles the MNA stamps for a circuit and computes its
+    /// bandwidth-reducing ordering.
     ///
     /// # Errors
     ///
@@ -75,14 +87,14 @@ impl MnaSystem {
         let dim = node_unknowns + branch_count;
         let dim = dim.max(1);
 
-        let mut g = Matrix::zeros(dim, dim);
-        let mut c = Matrix::zeros(dim, dim);
+        let mut g_stamps: Vec<Stamp> = Vec::new();
+        let mut c_stamps: Vec<Stamp> = Vec::new();
         let mut sources = Vec::new();
         let mut source_ids = Vec::new();
 
         // GMIN from every node to ground keeps G invertible.
         for i in 0..node_unknowns {
-            g.add_at(i, i, GMIN);
+            g_stamps.push((i, i, GMIN));
         }
 
         let row_of = |node: NodeId| -> Option<usize> {
@@ -98,21 +110,21 @@ impl MnaSystem {
             match element {
                 Element::Resistor { plus, minus, value } => {
                     let conductance = 1.0 / value.ohms();
-                    stamp_conductance(&mut g, row_of(*plus), row_of(*minus), conductance);
+                    stamp_conductance(&mut g_stamps, row_of(*plus), row_of(*minus), conductance);
                 }
                 Element::Capacitor { plus, minus, value } => {
-                    stamp_conductance(&mut c, row_of(*plus), row_of(*minus), value.farads());
+                    stamp_conductance(&mut c_stamps, row_of(*plus), row_of(*minus), value.farads());
                 }
                 Element::Inductor { plus, minus, value } => {
                     let b = next_branch;
                     next_branch += 1;
-                    stamp_branch_incidence(&mut g, row_of(*plus), row_of(*minus), b);
-                    c.add_at(b, b, -value.henries());
+                    stamp_branch_incidence(&mut g_stamps, row_of(*plus), row_of(*minus), b);
+                    c_stamps.push((b, b, -value.henries()));
                 }
                 Element::VoltageSource { plus, minus, source, waveform } => {
                     let b = next_branch;
                     next_branch += 1;
-                    stamp_branch_incidence(&mut g, row_of(*plus), row_of(*minus), b);
+                    stamp_branch_incidence(&mut g_stamps, row_of(*plus), row_of(*minus), b);
                     sources.push(SourceStamp::Voltage { row: b, waveform: waveform.clone() });
                     source_ids.push(source.index());
                 }
@@ -127,7 +139,27 @@ impl MnaSystem {
             }
         }
 
-        Ok(Self { node_unknowns, dim, g, c, sources, source_ids })
+        // Reverse Cuthill–McKee on the union pattern of G and C: for ladder
+        // circuits this interleaves the inductor-branch rows with the node
+        // rows they couple to, collapsing the bandwidth to a small constant.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); dim];
+        for &(r, c, _) in g_stamps.iter().chain(c_stamps.iter()) {
+            if r != c {
+                adjacency[r].push(c);
+                adjacency[c].push(r);
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let perm = reverse_cuthill_mckee(dim, &adjacency);
+        let (kl, ku) = permuted_bandwidth(
+            g_stamps.iter().chain(c_stamps.iter()).map(|&(r, c, _)| (r, c)),
+            &perm,
+        );
+
+        Ok(Self { node_unknowns, dim, g_stamps, c_stamps, sources, source_ids, perm, kl, ku })
     }
 
     /// Dimension of the unknown vector (node voltages + branch currents).
@@ -140,14 +172,74 @@ impl MnaSystem {
         self.node_unknowns
     }
 
-    /// The conductance/incidence matrix `G`.
-    pub fn g(&self) -> &Matrix<f64> {
-        &self.g
+    /// The bandwidth-reducing relabelling of the unknowns:
+    /// `permutation()[logical] = packed` row in the assembled band matrices.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
     }
 
-    /// The storage matrix `C` (capacitances and inductances).
-    pub fn c(&self) -> &Matrix<f64> {
-        &self.c
+    /// Lower and upper bandwidth `(kl, ku)` of the union pattern of `G` and
+    /// `C` under [`MnaSystem::permutation`].
+    pub fn bandwidth(&self) -> (usize, usize) {
+        (self.kl, self.ku)
+    }
+
+    /// Assembles `gs·G + cs·C` into band storage, rows and columns relabelled
+    /// by [`MnaSystem::permutation`].
+    ///
+    /// This is the matrix every real-valued analysis factorises: DC uses
+    /// `(1, 0)`, backward Euler `(1, 1/dt)`, trapezoidal `(1/2, 1/dt)` — and
+    /// the trapezoidal history operator `C/dt − G/2` is `(-1/2, 1/dt)`.
+    pub fn assemble_real(&self, gs: f64, cs: f64) -> BandedMatrix<f64> {
+        let mut a = BandedMatrix::zeros(self.dim, self.kl, self.ku);
+        if gs != 0.0 {
+            for &(r, c, v) in &self.g_stamps {
+                a.add_at(self.perm[r], self.perm[c], gs * v);
+            }
+        }
+        if cs != 0.0 {
+            for &(r, c, v) in &self.c_stamps {
+                a.add_at(self.perm[r], self.perm[c], cs * v);
+            }
+        }
+        a
+    }
+
+    /// Assembles the complex system `G + s·C` into band storage, rows and
+    /// columns relabelled by [`MnaSystem::permutation`].
+    pub fn assemble_complex(&self, s: Complex) -> BandedMatrix<Complex> {
+        let mut a = BandedMatrix::zeros(self.dim, self.kl, self.ku);
+        for &(r, c, v) in &self.g_stamps {
+            a.add_at(self.perm[r], self.perm[c], Complex::from_real(v));
+        }
+        for &(r, c, v) in &self.c_stamps {
+            a.add_at(self.perm[r], self.perm[c], s * v);
+        }
+        a
+    }
+
+    /// Scatters a vector from logical (node/branch) order into the packed
+    /// order of the assembled band matrices.
+    pub fn permute_vec<T: Scalar>(&self, logical: &[T]) -> Vec<T> {
+        scatter(&self.perm, logical)
+    }
+
+    /// Gathers a vector from packed order back into logical order.
+    pub fn unpermute_vec<T: Scalar>(&self, packed: &[T]) -> Vec<T> {
+        gather(&self.perm, packed)
+    }
+
+    /// The conductance/incidence matrix `G`, materialised densely in logical
+    /// order (intended for inspection and small systems; analyses use the
+    /// band-form assemblers).
+    pub fn dense_g(&self) -> Matrix<f64> {
+        dense_from_stamps(self.dim, &self.g_stamps)
+    }
+
+    /// The storage matrix `C` (capacitances and inductances), materialised
+    /// densely in logical order.
+    pub fn dense_c(&self) -> Matrix<f64> {
+        dense_from_stamps(self.dim, &self.c_stamps)
     }
 
     /// Row of the unknown vector holding the voltage of `node`, or `None` for
@@ -160,7 +252,7 @@ impl MnaSystem {
         }
     }
 
-    /// Evaluates the right-hand side `b(t)` into `out`.
+    /// Evaluates the right-hand side `b(t)` into `out`, in logical order.
     ///
     /// # Panics
     ///
@@ -186,16 +278,16 @@ impl MnaSystem {
         }
     }
 
-    /// Builds the complex system matrix `A(s) = G + s·C` at a complex frequency.
+    /// Builds the complex system matrix `A(s) = G + s·C` densely, in logical
+    /// order (intended for inspection; [`MnaSystem::assemble_complex`] is the
+    /// band-form equivalent the AC analysis uses).
     pub fn complex_system(&self, s: Complex) -> Matrix<Complex> {
         let mut a = Matrix::<Complex>::zeros(self.dim, self.dim);
-        for i in 0..self.dim {
-            for j in 0..self.dim {
-                let value = Complex::from_real(self.g[(i, j)]) + s * self.c[(i, j)];
-                if value != Complex::ZERO {
-                    a[(i, j)] = value;
-                }
-            }
+        for &(r, c, v) in &self.g_stamps {
+            a.add_at(r, c, Complex::from_real(v));
+        }
+        for &(r, c, v) in &self.c_stamps {
+            a.add_at(r, c, s * v);
         }
         a
     }
@@ -222,7 +314,7 @@ impl MnaSystem {
                     b[*p] = Complex::ONE;
                 }
                 if let Some(m) = minus_row {
-                    b[*m] = b[*m] - Complex::ONE;
+                    b[*m] -= Complex::ONE;
                 }
             }
         }
@@ -230,30 +322,48 @@ impl MnaSystem {
     }
 }
 
-/// Stamps a two-terminal admittance-like value into a matrix.
-fn stamp_conductance(m: &mut Matrix<f64>, plus: Option<usize>, minus: Option<usize>, value: f64) {
+fn dense_from_stamps(dim: usize, stamps: &[Stamp]) -> Matrix<f64> {
+    let mut m = Matrix::zeros(dim, dim);
+    for &(r, c, v) in stamps {
+        m.add_at(r, c, v);
+    }
+    m
+}
+
+/// Stamps a two-terminal admittance-like value.
+fn stamp_conductance(
+    stamps: &mut Vec<Stamp>,
+    plus: Option<usize>,
+    minus: Option<usize>,
+    value: f64,
+) {
     if let Some(p) = plus {
-        m.add_at(p, p, value);
+        stamps.push((p, p, value));
     }
     if let Some(q) = minus {
-        m.add_at(q, q, value);
+        stamps.push((q, q, value));
     }
     if let (Some(p), Some(q)) = (plus, minus) {
-        m.add_at(p, q, -value);
-        m.add_at(q, p, -value);
+        stamps.push((p, q, -value));
+        stamps.push((q, p, -value));
     }
 }
 
 /// Stamps the incidence pattern of a branch-current unknown (voltage source or
 /// inductor) into `G`.
-fn stamp_branch_incidence(g: &mut Matrix<f64>, plus: Option<usize>, minus: Option<usize>, branch: usize) {
+fn stamp_branch_incidence(
+    stamps: &mut Vec<Stamp>,
+    plus: Option<usize>,
+    minus: Option<usize>,
+    branch: usize,
+) {
     if let Some(p) = plus {
-        g.add_at(p, branch, 1.0);
-        g.add_at(branch, p, 1.0);
+        stamps.push((p, branch, 1.0));
+        stamps.push((branch, p, 1.0));
     }
     if let Some(q) = minus {
-        g.add_at(q, branch, -1.0);
-        g.add_at(branch, q, -1.0);
+        stamps.push((q, branch, -1.0));
+        stamps.push((branch, q, -1.0));
     }
 }
 
@@ -296,7 +406,7 @@ mod tests {
         let b = c.add_node();
         c.add_resistor(a, b, Resistance::from_ohms(500.0)).unwrap();
         let mna = MnaSystem::build(&c).unwrap();
-        let g = mna.g();
+        let g = mna.dense_g();
         let conductance = 1.0 / 500.0;
         assert!((g[(0, 0)] - conductance - GMIN).abs() < 1e-15);
         assert!((g[(1, 1)] - conductance - GMIN).abs() < 1e-15);
@@ -309,9 +419,9 @@ mod tests {
         let (c, _, a) = simple_rc();
         let mna = MnaSystem::build(&c).unwrap();
         let row = mna.row_of_node(a).unwrap();
-        assert!((mna.c()[(row, row)] - 1e-12).abs() < 1e-24);
+        assert!((mna.dense_c()[(row, row)] - 1e-12).abs() < 1e-24);
         // G at that node only has the resistor + GMIN.
-        assert!((mna.g()[(row, row)] - 1e-3 - GMIN).abs() < 1e-12);
+        assert!((mna.dense_g()[(row, row)] - 1e-3 - GMIN).abs() < 1e-12);
     }
 
     #[test]
@@ -327,12 +437,13 @@ mod tests {
         // 2 nodes + 2 branches (V source + inductor).
         assert_eq!(mna.dim(), 4);
         // Inductor branch is the last row; its C entry is -L.
-        assert!((mna.c()[(3, 3)] + 5e-9).abs() < 1e-20);
+        assert!((mna.dense_c()[(3, 3)] + 5e-9).abs() < 1e-20);
         // Incidence of the inductor branch into its nodes.
-        assert_eq!(mna.g()[(0, 3)], 1.0);
-        assert_eq!(mna.g()[(1, 3)], -1.0);
-        assert_eq!(mna.g()[(3, 0)], 1.0);
-        assert_eq!(mna.g()[(3, 1)], -1.0);
+        let g = mna.dense_g();
+        assert_eq!(g[(0, 3)], 1.0);
+        assert_eq!(g[(1, 3)], -1.0);
+        assert_eq!(g[(3, 0)], 1.0);
+        assert_eq!(g[(3, 1)], -1.0);
     }
 
     #[test]
@@ -392,5 +503,93 @@ mod tests {
         let mna = MnaSystem::build(&c).unwrap();
         assert_eq!(mna.row_of_node(c.ground()), None);
         assert_eq!(mna.row_of_node(input), Some(0));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let mut seen = vec![false; mna.dim()];
+        for &p in mna.permutation() {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn permute_and_unpermute_round_trip() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let logical = vec![1.0, 2.0, 3.0];
+        let packed = mna.permute_vec(&logical);
+        assert_eq!(mna.unpermute_vec(&packed), logical);
+    }
+
+    #[test]
+    fn assemble_real_matches_dense_combination() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_inductor(a, b, Inductance::from_nanohenries(5.0)).unwrap();
+        c.add_capacitor(b, gnd, Capacitance::from_picofarads(2.0)).unwrap();
+        c.add_resistor(b, gnd, Resistance::from_ohms(50.0)).unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        let (gs, cs) = (0.5, 1e12);
+        let banded = mna.assemble_real(gs, cs);
+        let g = mna.dense_g();
+        let cc = mna.dense_c();
+        let perm = mna.permutation();
+        for i in 0..mna.dim() {
+            for j in 0..mna.dim() {
+                let want = gs * g[(i, j)] + cs * cc[(i, j)];
+                let got = banded.get(perm[i], perm[j]);
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "({i},{j}): banded {got} vs dense {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_complex_matches_complex_system() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let s = Complex::new(1e8, -2e9);
+        let banded = mna.assemble_complex(s);
+        let dense = mna.complex_system(s);
+        let perm = mna.permutation();
+        for i in 0..mna.dim() {
+            for j in 0..mna.dim() {
+                let got = banded.get(perm[i], perm[j]);
+                assert!((got - dense[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_bandwidth_is_a_small_constant() {
+        // A 100-segment RLC ladder in natural MNA order couples the inductor
+        // branches (appended at the end) to nodes near the front: the naive
+        // bandwidth is O(dim). RCM must bring it down to a constant.
+        let mut c = Circuit::new();
+        let gnd = c.ground();
+        let input = c.add_node();
+        c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        let mut prev = input;
+        for _ in 0..100 {
+            let mid = c.add_node();
+            let next = c.add_node();
+            c.add_resistor(prev, mid, Resistance::from_ohms(5.0)).unwrap();
+            c.add_inductor(mid, next, Inductance::from_picohenries(100.0)).unwrap();
+            c.add_capacitor(next, gnd, Capacitance::from_femtofarads(10.0)).unwrap();
+            prev = next;
+        }
+        let mna = MnaSystem::build(&c).unwrap();
+        assert!(mna.dim() > 300);
+        let (kl, ku) = mna.bandwidth();
+        assert!(kl <= 4 && ku <= 4, "ladder bandwidth should be tiny, got ({kl}, {ku})");
     }
 }

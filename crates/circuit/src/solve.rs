@@ -1,0 +1,174 @@
+//! The circuit-side face of the pluggable solver backend.
+//!
+//! [`FactoredMna`] couples a backend-erased factorisation
+//! ([`FactoredSolver`]) with the bandwidth-reducing permutation of the
+//! [`MnaSystem`](crate::mna::MnaSystem) it was assembled from, so analyses
+//! can keep thinking in logical (node/branch) order: right-hand sides go in
+//! logical, solutions come out logical, and the permutation bookkeeping stays
+//! here.
+//!
+//! DC, AC and transient analysis all factor through this type; the transient
+//! solver additionally keeps its state vector in packed order across
+//! timesteps (see [`crate::transient`]) and only translates when recording
+//! samples.
+
+use rlckit_numeric::banded::BandedMatrix;
+use rlckit_numeric::matrix::Scalar;
+use rlckit_numeric::ordering::{gather, scatter};
+use rlckit_numeric::solver::{FactoredSolver, ResolvedBackend, SolverBackend};
+
+use crate::error::CircuitError;
+use crate::mna::MnaSystem;
+
+/// A factorised MNA system matrix plus the unknown relabelling it was
+/// assembled under.
+#[derive(Debug, Clone)]
+pub struct FactoredMna<T: Scalar = f64> {
+    solver: FactoredSolver<T>,
+    perm: Vec<usize>,
+}
+
+impl<T: Scalar> FactoredMna<T> {
+    /// Factorises a band-assembled system matrix.
+    ///
+    /// `a` must come from the same [`MnaSystem`]'s `assemble_real` /
+    /// `assemble_complex`, so that its rows follow `mna.permutation()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularSystem`] tagged with `stage` if the
+    /// matrix cannot be factorised.
+    pub fn factor(
+        mna: &MnaSystem,
+        a: &BandedMatrix<T>,
+        backend: SolverBackend,
+        stage: &'static str,
+    ) -> Result<Self, CircuitError> {
+        let solver = FactoredSolver::factor(a, backend)
+            .map_err(|_| CircuitError::SingularSystem { stage })?;
+        Ok(Self { solver, perm: mna.permutation().to_vec() })
+    }
+
+    /// Solves `A·x = b` with both `b` and the returned `x` in logical
+    /// (node/branch) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not equal the system dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let packed = scatter(&self.perm, b);
+        let solution = self.solver.solve(&packed);
+        gather(&self.perm, &solution)
+    }
+
+    /// The kernel the backend dispatch selected (dense or banded).
+    pub fn backend(&self) -> ResolvedBackend {
+        self.solver.backend()
+    }
+
+    /// Access to the packed-order solver, for analyses that manage the
+    /// permutation themselves (the transient hot loop).
+    pub fn packed_solver(&self) -> &FactoredSolver<T> {
+        &self.solver
+    }
+}
+
+/// Factorises `gs·G + cs·C` of a system with the requested backend.
+///
+/// Convenience wrapper used by the DC and transient analyses.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SingularSystem`] tagged with `stage` if the matrix
+/// cannot be factorised.
+pub fn factor_real(
+    mna: &MnaSystem,
+    gs: f64,
+    cs: f64,
+    backend: SolverBackend,
+    stage: &'static str,
+) -> Result<FactoredMna<f64>, CircuitError> {
+    let a = mna.assemble_real(gs, cs);
+    FactoredMna::factor(mna, &a, backend, stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+    use crate::source::SourceWaveform;
+    use rlckit_numeric::complex::Complex;
+    use rlckit_units::{Capacitance, Inductance, Resistance, Time};
+
+    /// A little RLC chain with enough unknowns for the banded path to engage.
+    fn chain(segments: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let gnd = c.ground();
+        let input = c.add_node();
+        c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        let mut prev = input;
+        for _ in 0..segments {
+            let mid = c.add_node();
+            let next = c.add_node();
+            c.add_resistor(prev, mid, Resistance::from_ohms(10.0)).unwrap();
+            c.add_inductor(mid, next, Inductance::from_picohenries(50.0)).unwrap();
+            c.add_capacitor(next, gnd, Capacitance::from_femtofarads(20.0)).unwrap();
+            prev = next;
+        }
+        c
+    }
+
+    #[test]
+    fn dense_and_banded_backends_agree_on_dc() {
+        let circuit = chain(30);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let mut b = vec![0.0; mna.dim()];
+        mna.rhs_at(Time::from_picoseconds(1.0), &mut b);
+
+        let dense = factor_real(&mna, 1.0, 0.0, SolverBackend::Dense, "test").unwrap();
+        let banded = factor_real(&mna, 1.0, 0.0, SolverBackend::Banded, "test").unwrap();
+        assert_eq!(dense.backend(), ResolvedBackend::Dense);
+        assert_eq!(banded.backend(), ResolvedBackend::Banded);
+
+        let xd = dense.solve(&b);
+        let xb = banded.solve(&b);
+        for (d, bd) in xd.iter().zip(xb.iter()) {
+            assert!((d - bd).abs() < 1e-9, "dense {d} vs banded {bd}");
+        }
+    }
+
+    #[test]
+    fn auto_uses_banded_for_ladders() {
+        let circuit = chain(30);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let auto = factor_real(&mna, 1.0, 1e12, SolverBackend::Auto, "test").unwrap();
+        assert_eq!(auto.backend(), ResolvedBackend::Banded);
+        assert_eq!(auto.packed_solver().dim(), mna.dim());
+    }
+
+    #[test]
+    fn complex_factorisation_dispatches_too() {
+        let circuit = chain(20);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let s = Complex::new(0.0, 1e10);
+        let a = mna.assemble_complex(s);
+        let banded = FactoredMna::factor(&mna, &a, SolverBackend::Banded, "test").unwrap();
+        let dense = FactoredMna::factor(&mna, &a, SolverBackend::Dense, "test").unwrap();
+        let b = mna.unit_excitation(crate::netlist::SourceId(0)).unwrap();
+        let xb = banded.solve(&b);
+        let xd = dense.solve(&b);
+        for (u, v) in xb.iter().zip(xd.iter()) {
+            assert!((*u - *v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_system_reports_the_stage() {
+        // A lone capacitor has a singular G-only system? No — GMIN saves it.
+        // Instead factor 0·G + 0·C, which is exactly singular.
+        let circuit = chain(2);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let err = factor_real(&mna, 0.0, 0.0, SolverBackend::Auto, "unit test").unwrap_err();
+        assert!(matches!(err, CircuitError::SingularSystem { stage: "unit test" }));
+    }
+}

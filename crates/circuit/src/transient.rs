@@ -10,15 +10,21 @@
 //! * **Trapezoidal** — second order, the default. It preserves the ringing of
 //!   underdamped RLC lines, which is essential when comparing against the
 //!   paper's inductance-dominated cases.
+//!
+//! Both the iteration matrix and the history operator are assembled in band
+//! form under the system's bandwidth-reducing ordering, and the one-off
+//! factorisation goes through the pluggable [`SolverBackend`]: for
+//! ladder-shaped circuits the whole run is `O(n·b²) + steps·O(n·b)` instead
+//! of the dense `O(n³) + steps·O(n²)`.
 
-use rlckit_numeric::lu::LuFactor;
-use rlckit_numeric::matrix::Matrix;
+use rlckit_numeric::solver::{ResolvedBackend, SolverBackend};
 use rlckit_units::{Time, Voltage};
 
-use crate::dc::operating_point_at;
+use crate::dc::operating_point_of;
 use crate::error::CircuitError;
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId};
+use crate::solve::factor_real;
 use crate::waveform::Waveform;
 
 /// Time-integration method for [`run_transient`].
@@ -40,27 +46,47 @@ pub struct TransientOptions {
     pub step: Time,
     /// Integration method.
     pub method: Integration,
+    /// Solver backend used for the one-off factorisation (default
+    /// [`SolverBackend::Auto`]: banded for ladder-shaped systems, dense
+    /// otherwise).
+    pub backend: SolverBackend,
 }
 
 impl TransientOptions {
-    /// Convenience constructor using the default (trapezoidal) method.
+    /// Convenience constructor using the default (trapezoidal) method and
+    /// automatic backend selection.
     pub fn new(stop_time: Time, step: Time) -> Self {
-        Self { stop_time, step, method: Integration::Trapezoidal }
+        Self { stop_time, step, method: Integration::Trapezoidal, backend: SolverBackend::Auto }
+    }
+
+    /// Returns a copy with the given solver backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     fn validate(&self) -> Result<(), CircuitError> {
         if !(self.stop_time.seconds() > 0.0) || !self.stop_time.seconds().is_finite() {
-            return Err(CircuitError::InvalidAnalysis { reason: "stop time must be positive and finite" });
+            return Err(CircuitError::InvalidAnalysis {
+                reason: "stop time must be positive and finite",
+            });
         }
         if !(self.step.seconds() > 0.0) || !self.step.seconds().is_finite() {
-            return Err(CircuitError::InvalidAnalysis { reason: "timestep must be positive and finite" });
+            return Err(CircuitError::InvalidAnalysis {
+                reason: "timestep must be positive and finite",
+            });
         }
-        if self.step.seconds() >= self.stop_time.seconds() {
-            return Err(CircuitError::InvalidAnalysis { reason: "timestep must be smaller than the stop time" });
+        if self.step.seconds() > self.stop_time.seconds() {
+            return Err(CircuitError::InvalidAnalysis {
+                reason: "timestep must not exceed the stop time",
+            });
         }
         let steps = self.stop_time.seconds() / self.step.seconds();
         if steps > 50_000_000.0 {
-            return Err(CircuitError::InvalidAnalysis { reason: "too many timesteps (> 5e7); increase the step" });
+            return Err(CircuitError::InvalidAnalysis {
+                reason: "too many timesteps (> 5e7); increase the step",
+            });
         }
         Ok(())
     }
@@ -73,6 +99,7 @@ pub struct TransientResult {
     /// One vector of samples per MNA unknown.
     states: Vec<Vec<f64>>,
     node_unknowns: usize,
+    backend: ResolvedBackend,
 }
 
 impl TransientResult {
@@ -118,6 +145,11 @@ impl TransientResult {
     pub fn node_unknown_count(&self) -> usize {
         self.node_unknowns
     }
+
+    /// Which solver kernel factorised the iteration matrix.
+    pub fn backend(&self) -> ResolvedBackend {
+        self.backend
+    }
 }
 
 /// Runs a fixed-step transient analysis over `[0, stop_time]`.
@@ -132,84 +164,81 @@ impl TransientResult {
 /// [`CircuitError::EmptyCircuit`] for an element-free circuit and
 /// [`CircuitError::SingularSystem`] if the discretised system cannot be
 /// factorised.
-pub fn run_transient(circuit: &Circuit, options: &TransientOptions) -> Result<TransientResult, CircuitError> {
+pub fn run_transient(
+    circuit: &Circuit,
+    options: &TransientOptions,
+) -> Result<TransientResult, CircuitError> {
     options.validate()?;
     let mna = MnaSystem::build(circuit)?;
     let dim = mna.dim();
     let dt = options.step.seconds();
     let num_steps = (options.stop_time.seconds() / dt).ceil() as usize;
 
-    // Build the constant iteration matrix
+    // Build the constant iteration matrix and history operator in band form:
     //   BE:   (G + C/dt)        x_{n+1} = b_{n+1} + (C/dt) x_n
     //   TRAP: (G/2 + C/dt)      x_{n+1} = (b_{n+1}+b_n)/2 + (C/dt - G/2) x_n
-    let g = mna.g();
-    let c = mna.c();
-    let mut lhs = Matrix::zeros(dim, dim);
-    let mut rhs_state = Matrix::zeros(dim, dim);
-    match options.method {
-        Integration::BackwardEuler => {
-            for i in 0..dim {
-                for j in 0..dim {
-                    lhs[(i, j)] = g[(i, j)] + c[(i, j)] / dt;
-                    rhs_state[(i, j)] = c[(i, j)] / dt;
-                }
-            }
-        }
-        Integration::Trapezoidal => {
-            for i in 0..dim {
-                for j in 0..dim {
-                    lhs[(i, j)] = 0.5 * g[(i, j)] + c[(i, j)] / dt;
-                    rhs_state[(i, j)] = c[(i, j)] / dt - 0.5 * g[(i, j)];
-                }
-            }
-        }
-    }
-    let factor =
-        LuFactor::new(&lhs).map_err(|_| CircuitError::SingularSystem { stage: "transient analysis" })?;
+    let (lhs_g, hist_g) = match options.method {
+        Integration::BackwardEuler => (1.0, 0.0),
+        Integration::Trapezoidal => (0.5, -0.5),
+    };
+    let factor = factor_real(&mna, lhs_g, 1.0 / dt, options.backend, "transient analysis")?;
+    let history = mna.assemble_real(hist_g, 1.0 / dt);
+    let solver = factor.packed_solver();
 
-    // Initial condition: DC operating point at t = 0.
-    let mut state = operating_point_at(circuit, Time::ZERO)?.state().to_vec();
-    debug_assert_eq!(state.len(), dim);
+    // Initial condition: DC operating point at t = 0, moved into the packed
+    // (bandwidth-reducing) order the assembled operators use.
+    let initial = operating_point_of(&mna, Time::ZERO, options.backend)?;
+    debug_assert_eq!(initial.state().len(), dim);
+    let mut state = mna.permute_vec(initial.state());
 
+    let perm = mna.permutation();
     let mut times = Vec::with_capacity(num_steps + 1);
     let mut states: Vec<Vec<f64>> = vec![Vec::with_capacity(num_steps + 1); dim];
     times.push(0.0);
     for (k, series) in states.iter_mut().enumerate() {
-        series.push(state[k]);
+        series.push(state[perm[k]]);
     }
 
-    let mut b_prev = vec![0.0; dim];
+    let mut b_logical = vec![0.0; dim];
+    mna.rhs_at(Time::ZERO, &mut b_logical);
+    let mut b_prev = mna.permute_vec(&b_logical);
     let mut b_next = vec![0.0; dim];
-    mna.rhs_at(Time::ZERO, &mut b_prev);
 
     for n in 1..=num_steps {
         let t = n as f64 * dt;
-        mna.rhs_at(Time::from_seconds(t), &mut b_next);
+        mna.rhs_at(Time::from_seconds(t), &mut b_logical);
+        for (i, &v) in b_logical.iter().enumerate() {
+            b_next[perm[i]] = v;
+        }
 
         // rhs = source term + memory of the previous state.
-        let memory = rhs_state.mul_vec(&state);
-        let mut rhs = vec![0.0; dim];
+        let mut rhs = history.mul_vec(&state);
         match options.method {
             Integration::BackwardEuler => {
                 for i in 0..dim {
-                    rhs[i] = b_next[i] + memory[i];
+                    rhs[i] += b_next[i];
                 }
             }
             Integration::Trapezoidal => {
                 for i in 0..dim {
-                    rhs[i] = 0.5 * (b_next[i] + b_prev[i]) + memory[i];
+                    rhs[i] += 0.5 * (b_next[i] + b_prev[i]);
                 }
             }
         }
-        state = factor.solve(&rhs);
+        state = solver.solve(&rhs);
         times.push(t);
         for (k, series) in states.iter_mut().enumerate() {
-            series.push(state[k]);
+            series.push(state[perm[k]]);
         }
         std::mem::swap(&mut b_prev, &mut b_next);
     }
 
-    Ok(TransientResult { times, states, node_unknowns: mna.node_unknowns() })
+    Ok(TransientResult {
+        times,
+        states,
+        node_unknowns: mna.node_unknowns(),
+        backend: factor.backend(),
+    })
 }
 
 #[cfg(test)]
@@ -253,10 +282,8 @@ mod tests {
     fn rc_step_response_matches_analytic() {
         let (c, out) = rc_circuit();
         let tau = 1e-9; // RC = 1 kΩ × 1 pF
-        let options = TransientOptions::new(
-            Time::from_seconds(5.0 * tau),
-            Time::from_seconds(tau / 1000.0),
-        );
+        let options =
+            TransientOptions::new(Time::from_seconds(5.0 * tau), Time::from_seconds(tau / 1000.0));
         let result = run_transient(&c, &options).unwrap();
         let w = result.node_voltage(out);
         for &frac in &[0.5, 1.0, 2.0, 4.0] {
@@ -278,13 +305,10 @@ mod tests {
             stop_time: Time::from_seconds(5.0 * tau),
             step: Time::from_seconds(tau / 2000.0),
             method: Integration::BackwardEuler,
+            backend: SolverBackend::Auto,
         };
         let result = run_transient(&c, &options).unwrap();
-        let got = result
-            .node_voltage(out)
-            .value_at(Time::from_seconds(tau))
-            .unwrap()
-            .volts();
+        let got = result.node_voltage(out).value_at(Time::from_seconds(tau)).unwrap().volts();
         let want = 1.0 - (-1.0f64).exp();
         assert!((got - want).abs() < 5e-3, "got {got}, want {want}");
     }
@@ -294,19 +318,16 @@ mod tests {
         let (c, out, zeta, wn) = rlc_circuit();
         assert!(zeta < 1.0, "test circuit should be underdamped");
         let t_end = 20.0 / wn;
-        let options = TransientOptions::new(
-            Time::from_seconds(t_end),
-            Time::from_seconds(t_end / 20_000.0),
-        );
+        let options =
+            TransientOptions::new(Time::from_seconds(t_end), Time::from_seconds(t_end / 20_000.0));
         let result = run_transient(&c, &options).unwrap();
         let w = result.node_voltage(out);
         let wd = wn * (1.0 - zeta * zeta).sqrt();
         for &frac in &[0.1, 0.3, 0.5, 0.8] {
             let t = frac * t_end;
             let got = w.value_at(Time::from_seconds(t)).unwrap().volts();
-            let want = 1.0
-                - (-zeta * wn * t).exp()
-                    * ((wd * t).cos() + zeta * wn / wd * (wd * t).sin());
+            let want =
+                1.0 - (-zeta * wn * t).exp() * ((wd * t).cos() + zeta * wn / wd * (wd * t).sin());
             assert!((got - want).abs() < 5e-3, "t = {t}: got {got}, want {want}");
         }
         // The response of an underdamped circuit must overshoot.
@@ -316,7 +337,8 @@ mod tests {
     #[test]
     fn final_value_reaches_supply() {
         let (c, out) = rc_circuit();
-        let options = TransientOptions::new(Time::from_nanoseconds(20.0), Time::from_picoseconds(5.0));
+        let options =
+            TransientOptions::new(Time::from_nanoseconds(20.0), Time::from_picoseconds(5.0));
         let result = run_transient(&c, &options).unwrap();
         assert!((result.final_node_voltage(out).volts() - 1.0).abs() < 1e-6);
         assert!(result.len() > 100);
@@ -331,15 +353,9 @@ mod tests {
     fn invalid_options_are_rejected() {
         let (c, _) = rc_circuit();
         let bad_stop = TransientOptions::new(Time::ZERO, Time::from_picoseconds(1.0));
-        assert!(matches!(
-            run_transient(&c, &bad_stop),
-            Err(CircuitError::InvalidAnalysis { .. })
-        ));
+        assert!(matches!(run_transient(&c, &bad_stop), Err(CircuitError::InvalidAnalysis { .. })));
         let bad_step = TransientOptions::new(Time::from_nanoseconds(1.0), Time::ZERO);
-        assert!(matches!(
-            run_transient(&c, &bad_step),
-            Err(CircuitError::InvalidAnalysis { .. })
-        ));
+        assert!(matches!(run_transient(&c, &bad_step), Err(CircuitError::InvalidAnalysis { .. })));
         let step_too_large =
             TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_nanoseconds(2.0));
         assert!(matches!(
@@ -347,16 +363,37 @@ mod tests {
             Err(CircuitError::InvalidAnalysis { .. })
         ));
         let too_many = TransientOptions::new(Time::from_seconds(1.0), Time::from_picoseconds(1.0));
-        assert!(matches!(
-            run_transient(&c, &too_many),
-            Err(CircuitError::InvalidAnalysis { .. })
-        ));
+        assert!(matches!(run_transient(&c, &too_many), Err(CircuitError::InvalidAnalysis { .. })));
+    }
+
+    #[test]
+    fn step_equal_to_stop_time_is_a_single_step_run() {
+        // Regression test: the bound used to be `step >= stop_time` while the
+        // message promised only "smaller than" was required. A step equal to
+        // the stop time is a legitimate one-step run and must be accepted; a
+        // strictly larger step must still be rejected with the (now accurate)
+        // "must not exceed" message.
+        let (c, _) = rc_circuit();
+        let one_step =
+            TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_nanoseconds(1.0));
+        let result = run_transient(&c, &one_step).unwrap();
+        assert_eq!(result.len(), 2); // the initial point plus exactly one step
+
+        let too_large =
+            TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_nanoseconds(1.0001));
+        match run_transient(&c, &too_large) {
+            Err(CircuitError::InvalidAnalysis { reason }) => {
+                assert_eq!(reason, "timestep must not exceed the stop time");
+            }
+            other => panic!("expected InvalidAnalysis, got {other:?}"),
+        }
     }
 
     #[test]
     fn empty_circuit_is_rejected() {
         let c = Circuit::new();
-        let options = TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_picoseconds(1.0));
+        let options =
+            TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_picoseconds(1.0));
         assert!(matches!(run_transient(&c, &options), Err(CircuitError::EmptyCircuit)));
     }
 
@@ -377,13 +414,11 @@ mod tests {
                 stop_time: Time::from_seconds(t_end),
                 step: Time::from_seconds(dt),
                 method,
+                backend: SolverBackend::Auto,
             };
             let result = run_transient(&c, &options).unwrap();
-            let got = result
-                .node_voltage(out)
-                .value_at(Time::from_seconds(sample_t))
-                .unwrap()
-                .volts();
+            let got =
+                result.node_voltage(out).value_at(Time::from_seconds(sample_t)).unwrap().volts();
             errors.push((got - analytic(sample_t)).abs());
         }
         assert!(
@@ -392,5 +427,14 @@ mod tests {
             errors[0],
             errors[1]
         );
+    }
+
+    #[test]
+    fn small_circuits_resolve_to_the_dense_kernel() {
+        let (c, _) = rc_circuit();
+        let options =
+            TransientOptions::new(Time::from_nanoseconds(1.0), Time::from_picoseconds(1.0));
+        let result = run_transient(&c, &options).unwrap();
+        assert_eq!(result.backend(), ResolvedBackend::Dense);
     }
 }

@@ -21,14 +21,8 @@ use rlckit_units::{Capacitance, Inductance, Resistance, Time, Voltage};
 /// Rt ∈ [10 Ω, 5 kΩ], Lt ∈ [0.1, 50] nH, Ct ∈ [0.1, 2] pF,
 /// Rtr ∈ [0, 1 kΩ], CL ∈ [0, 1] pF.
 fn arb_spec() -> impl Strategy<Value = LadderSpec> {
-    (
-        10.0f64..5e3,
-        1e-10f64..5e-8,
-        1e-13f64..2e-12,
-        0.0f64..1e3,
-        0.0f64..1e-12,
-    )
-        .prop_map(|(rt, lt, ct, rtr, cl)| LadderSpec {
+    (10.0f64..5e3, 1e-10f64..5e-8, 1e-13f64..2e-12, 0.0f64..1e3, 0.0f64..1e-12).prop_map(
+        |(rt, lt, ct, rtr, cl)| LadderSpec {
             total_resistance: Resistance::from_ohms(rt),
             total_inductance: Inductance::from_henries(lt),
             total_capacitance: Capacitance::from_farads(ct),
@@ -37,7 +31,8 @@ fn arb_spec() -> impl Strategy<Value = LadderSpec> {
             driver_resistance: Resistance::from_ohms(rtr),
             load_capacitance: Capacitance::from_farads(cl),
             supply: Voltage::from_volts(1.0),
-        })
+        },
+    )
 }
 
 proptest! {

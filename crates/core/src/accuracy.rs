@@ -83,9 +83,9 @@ impl AccuracyTable {
 
     /// The row with the largest error, if any.
     pub fn worst(&self) -> Option<&ComparisonRow> {
-        self.rows
-            .iter()
-            .max_by(|a, b| a.percent_error().partial_cmp(&b.percent_error()).expect("finite errors"))
+        self.rows.iter().max_by(|a, b| {
+            a.percent_error().partial_cmp(&b.percent_error()).expect("finite errors")
+        })
     }
 }
 

@@ -210,8 +210,8 @@ mod tests {
     fn zeta_matches_equation_six_by_hand() {
         // RT = CT = 0.5, Rt = 1 kΩ, Ct = 1 pF, Lt = 100 nH.
         let load = table1_load(0.5, 0.5, 1e-7);
-        let by_hand = (1000.0 / 2.0) * (1e-12f64 / 1e-7).sqrt() * (0.5 + 0.5 + 0.25 + 0.5)
-            / 1.5f64.sqrt();
+        let by_hand =
+            (1000.0 / 2.0) * (1e-12f64 / 1e-7).sqrt() * (0.5 + 0.5 + 0.25 + 0.5) / 1.5f64.sqrt();
         assert!((load.zeta() - by_hand).abs() / by_hand < 1e-12);
     }
 

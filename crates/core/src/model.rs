@@ -139,13 +139,9 @@ mod tests {
         let more_c = load(500.0, 10e-9, 2e-12, 250.0, 0.1e-12);
         let more_rtr = load(500.0, 10e-9, 1e-12, 500.0, 0.1e-12);
         let more_cl = load(500.0, 10e-9, 1e-12, 250.0, 0.5e-12);
-        for (name, l) in [
-            ("Rt", more_r),
-            ("Lt", more_l),
-            ("Ct", more_c),
-            ("Rtr", more_rtr),
-            ("CL", more_cl),
-        ] {
+        for (name, l) in
+            [("Rt", more_r), ("Lt", more_l), ("Ct", more_c), ("Rtr", more_rtr), ("CL", more_cl)]
+        {
             assert!(
                 propagation_delay(&l) > base_delay,
                 "increasing {name} should increase the delay"

@@ -113,9 +113,10 @@ impl TwoPoleResponse {
         }
         let f = |t: f64| self.step_response(Time::from_seconds(t)) - fraction;
         let scale = 1.0 / self.natural_frequency;
-        let (lo, hi) = expand_bracket(f, 0.0, scale, 2.0, 80).map_err(|e| CoreError::Evaluation {
-            reason: format!("could not bracket the {fraction} crossing: {e}"),
-        })?;
+        let (lo, hi) =
+            expand_bracket(f, 0.0, scale, 2.0, 80).map_err(|e| CoreError::Evaluation {
+                reason: format!("could not bracket the {fraction} crossing: {e}"),
+            })?;
         let root = brent(f, lo, hi, scale * 1e-12, 200).map_err(|e| CoreError::Evaluation {
             reason: format!("could not refine the {fraction} crossing: {e}"),
         })?;

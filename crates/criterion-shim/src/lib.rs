@@ -1,0 +1,268 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the workspace's `benches/` targets
+//! building and running with the same source: [`Criterion`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up once,
+//! then timed over `sample_size` samples of an auto-scaled batch of
+//! iterations, and the per-iteration minimum / mean are printed to stdout.
+//! There is no statistical analysis, HTML report or comparison baseline.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Drives the closures being measured, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, `group/function` when run inside a group.
+    pub id: String,
+    /// Minimum observed time per iteration, in seconds.
+    pub min_seconds: f64,
+    /// Mean observed time per iteration, in seconds.
+    pub mean_seconds: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Identifier for a parameterised benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, measurements: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted for API compatibility;
+    /// the shim ignores the arguments).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_owned(), sample_size, f);
+        self
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Prints a closing line (the real criterion renders its summary here).
+    pub fn final_summary(&self) {
+        println!("criterion shim: {} benchmark(s) measured", self.measurements.len());
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        // Warm-up run, also used to scale the per-sample iteration count so
+        // very fast routines are timed over a meaningful interval.
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let warmup = bencher.elapsed.as_secs_f64().max(1e-9);
+        let target_sample_seconds = 2e-3;
+        let iters = ((target_sample_seconds / warmup).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut min = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..sample_size {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            let per_iter = bencher.elapsed.as_secs_f64() / iters as f64;
+            min = min.min(per_iter);
+            total += per_iter;
+        }
+        let mean = total / sample_size as f64;
+        println!("{id:<60} min {:>12}  mean {:>12}", format_seconds(min), format_seconds(mean));
+        self.measurements.push(Measurement {
+            id,
+            min_seconds: min,
+            mean_seconds: mean,
+            samples: sample_size,
+        });
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks a function under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Benchmarks a function taking an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_function() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        c.bench_function("add", |b| b.iter(|| std::hint::black_box(1u64) + 1));
+        assert_eq!(c.measurements().len(), 1);
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "add");
+        assert!(m.min_seconds >= 0.0);
+        assert!(m.mean_seconds >= m.min_seconds);
+    }
+
+    #[test]
+    fn groups_prefix_their_name() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("group");
+            g.sample_size(2);
+            g.bench_function("f", |b| b.iter(|| 2 + 2));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        let ids: Vec<&str> = c.measurements().iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(ids, ["group/f", "group/7"]);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -48,13 +48,7 @@ pub struct WireGeometry {
 impl WireGeometry {
     /// A copper wire in SiO₂ with the given width, thickness and height.
     pub fn copper_in_oxide(width: Length, thickness: Length, height: Length) -> Self {
-        Self {
-            width,
-            thickness,
-            height,
-            resistivity: RHO_COPPER,
-            dielectric_constant: EPS_R_SIO2,
-        }
+        Self { width, thickness, height, resistivity: RHO_COPPER, dielectric_constant: EPS_R_SIO2 }
     }
 
     /// An aluminium wire in SiO₂ with the given width, thickness and height.

@@ -160,10 +160,7 @@ impl DistributedLine {
     /// Returns [`InterconnectError::InvalidParameter`] if `sections` is zero.
     pub fn section(&self, sections: usize) -> Result<Self, InterconnectError> {
         if sections == 0 {
-            return Err(InterconnectError::InvalidParameter {
-                what: "section count",
-                value: 0.0,
-            });
+            return Err(InterconnectError::InvalidParameter { what: "section count", value: 0.0 });
         }
         self.with_length(self.length / sections as f64)
     }

@@ -109,17 +109,11 @@ mod tests {
     use rlckit_units::Length;
 
     fn global_line(mm: f64) -> DistributedLine {
-        Technology::quarter_micron()
-            .global_wire
-            .line(Length::from_millimeters(mm))
-            .unwrap()
+        Technology::quarter_micron().global_wire.line(Length::from_millimeters(mm)).unwrap()
     }
 
     fn resistive_line(mm: f64) -> DistributedLine {
-        Technology::quarter_micron()
-            .intermediate_wire
-            .line(Length::from_millimeters(mm))
-            .unwrap()
+        Technology::quarter_micron().intermediate_wire.line(Length::from_millimeters(mm)).unwrap()
     }
 
     #[test]
@@ -174,10 +168,7 @@ mod tests {
         assert!((t5 - t10).abs() < 1e-9, "T_L/R should not depend on length");
         assert!((t10 - 5.0).abs() < 0.5, "T_L/R = {t10}");
         // Faster buffers (smaller R0·C0) increase T_L/R.
-        let faster = t_l_over_r(
-            &global_line(10.0),
-            Technology::node_90nm().buffer_time_constant(),
-        );
+        let faster = t_l_over_r(&global_line(10.0), Technology::node_90nm().buffer_time_constant());
         assert!(faster > t10);
     }
 }

@@ -153,11 +153,7 @@ mod tests {
         let f = |s: f64| d.transfer_function(Complex::from_real(s)).re;
         let m1 = (f(h) - f(-h)) / (2.0 * h); // = -b1
         let m2 = (f(h) - 2.0 * f(0.0) + f(-h)) / (h * h); // = 2(b1² − b2)
-        assert!(
-            (m1 + m.b1).abs() / m.b1 < 1e-4,
-            "first derivative {m1} vs -b1 {}",
-            -m.b1
-        );
+        assert!((m1 + m.b1).abs() / m.b1 < 1e-4, "first derivative {m1} vs -b1 {}", -m.b1);
         let expected_m2 = 2.0 * (m.b1 * m.b1 - m.b2);
         assert!(
             (m2 - expected_m2).abs() / expected_m2.abs() < 1e-3,

@@ -219,12 +219,9 @@ mod tests {
     #[test]
     fn rc_dominated_delay_matches_sakurai() {
         // Negligible inductance, no terminations: 50% delay → 0.377·Rt·Ct.
-        let driven = DrivenLine::new(
-            line(1000.0, 1e-15, 1e-12),
-            Resistance::ZERO,
-            Capacitance::ZERO,
-        )
-        .unwrap();
+        let driven =
+            DrivenLine::new(line(1000.0, 1e-15, 1e-12), Resistance::ZERO, Capacitance::ZERO)
+                .unwrap();
         let d = driven.delay_50().unwrap().seconds();
         let expected = 0.377 * 1000.0 * 1e-12;
         assert!((d - expected).abs() / expected < 0.02, "delay {d}, expected {expected}");
@@ -273,12 +270,9 @@ mod tests {
     fn adding_driver_resistance_increases_delay() {
         let l = line(500.0, 10e-9, 1e-12);
         let bare = DrivenLine::new(l, Resistance::ZERO, Capacitance::ZERO).unwrap();
-        let loaded = DrivenLine::new(
-            l,
-            Resistance::from_ohms(500.0),
-            Capacitance::from_picofarads(0.5),
-        )
-        .unwrap();
+        let loaded =
+            DrivenLine::new(l, Resistance::from_ohms(500.0), Capacitance::from_picofarads(0.5))
+                .unwrap();
         let d_bare = bare.delay_50().unwrap();
         let d_loaded = loaded.delay_50().unwrap();
         assert!(d_loaded > d_bare);

@@ -112,20 +112,14 @@ impl Complex {
     #[inline]
     pub fn cosh(self) -> Self {
         // cosh(a + jb) = cosh a cos b + j sinh a sin b
-        Self::new(
-            self.re.cosh() * self.im.cos(),
-            self.re.sinh() * self.im.sin(),
-        )
+        Self::new(self.re.cosh() * self.im.cos(), self.re.sinh() * self.im.sin())
     }
 
     /// Hyperbolic sine.
     #[inline]
     pub fn sinh(self) -> Self {
         // sinh(a + jb) = sinh a cos b + j cosh a sin b
-        Self::new(
-            self.re.sinh() * self.im.cos(),
-            self.re.cosh() * self.im.sin(),
-        )
+        Self::new(self.re.sinh() * self.im.cos(), self.re.cosh() * self.im.sin())
     }
 
     /// Hyperbolic tangent.
@@ -137,19 +131,13 @@ impl Complex {
     /// Cosine.
     #[inline]
     pub fn cos(self) -> Self {
-        Self::new(
-            self.re.cos() * self.im.cosh(),
-            -self.re.sin() * self.im.sinh(),
-        )
+        Self::new(self.re.cos() * self.im.cosh(), -self.re.sin() * self.im.sinh())
     }
 
     /// Sine.
     #[inline]
     pub fn sin(self) -> Self {
-        Self::new(
-            self.re.sin() * self.im.cosh(),
-            self.re.cos() * self.im.sinh(),
-        )
+        Self::new(self.re.sin() * self.im.cosh(), self.re.cos() * self.im.sinh())
     }
 
     /// Cotangent `cos z / sin z`.
@@ -205,10 +193,7 @@ impl Mul for Complex {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Self::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -405,9 +390,7 @@ mod tests {
 
     #[test]
     fn sum_and_display() {
-        let s: Complex = [Complex::new(1.0, 1.0), Complex::new(2.0, -3.0)]
-            .into_iter()
-            .sum();
+        let s: Complex = [Complex::new(1.0, 1.0), Complex::new(2.0, -3.0)].into_iter().sum();
         assert_eq!(s, Complex::new(3.0, -2.0));
         assert_eq!(format!("{}", Complex::new(1.0, -2.0)), "1-2j");
         assert_eq!(format!("{}", Complex::new(1.0, 2.0)), "1+2j");

@@ -122,7 +122,8 @@ pub fn last_rising_crossing(x: &[f64], y: &[f64], threshold: f64) -> Result<f64,
     for i in 1..x.len() {
         let (y0, y1) = (y[i - 1], y[i]);
         if y0 <= threshold && y1 > threshold {
-            let frac = if (y1 - y0).abs() < f64::EPSILON { 1.0 } else { (threshold - y0) / (y1 - y0) };
+            let frac =
+                if (y1 - y0).abs() < f64::EPSILON { 1.0 } else { (threshold - y0) / (y1 - y0) };
             last = Some(x[i - 1] + frac * (x[i] - x[i - 1]));
         }
     }
@@ -169,18 +170,12 @@ mod tests {
 
     #[test]
     fn malformed_inputs() {
-        assert!(matches!(
-            linear(&[], &[], 0.0),
-            Err(InterpError::LengthMismatch { .. })
-        ));
+        assert!(matches!(linear(&[], &[], 0.0), Err(InterpError::LengthMismatch { .. })));
         assert!(matches!(
             linear(&[0.0, 1.0], &[0.0], 0.5),
             Err(InterpError::LengthMismatch { .. })
         ));
-        assert!(matches!(
-            linear(&[0.0, 0.0], &[0.0, 1.0], 0.0),
-            Err(InterpError::NotIncreasing)
-        ));
+        assert!(matches!(linear(&[0.0, 0.0], &[0.0, 1.0], 0.0), Err(InterpError::NotIncreasing)));
     }
 
     #[test]
@@ -207,14 +202,8 @@ mod tests {
     fn no_crossing_is_an_error() {
         let x = [0.0, 1.0, 2.0];
         let y = [0.0, 0.1, 0.2];
-        assert!(matches!(
-            first_rising_crossing(&x, &y, 0.5),
-            Err(InterpError::NoCrossing { .. })
-        ));
-        assert!(matches!(
-            last_rising_crossing(&x, &y, 0.5),
-            Err(InterpError::NoCrossing { .. })
-        ));
+        assert!(matches!(first_rising_crossing(&x, &y, 0.5), Err(InterpError::NoCrossing { .. })));
+        assert!(matches!(last_rising_crossing(&x, &y, 0.5), Err(InterpError::NoCrossing { .. })));
     }
 
     #[test]

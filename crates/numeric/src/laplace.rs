@@ -77,7 +77,10 @@ pub fn stehfest<F>(transform: F, t: f64, terms: usize) -> f64
 where
     F: Fn(f64) -> f64,
 {
-    assert!(terms >= 2 && terms % 2 == 0, "stehfest requires an even number of terms >= 2");
+    assert!(
+        terms >= 2 && terms.is_multiple_of(2),
+        "stehfest requires an even number of terms >= 2"
+    );
     if t <= 0.0 {
         return 0.0;
     }
@@ -109,7 +112,7 @@ fn stehfest_coefficients(n: usize) -> Vec<f64> {
                 * factorial(2 * j - k);
             sum += num / den;
         }
-        let sign = if (k + half) % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if (k + half).is_multiple_of(2) { 1.0 } else { -1.0 };
         *vk = sign * sum;
     }
     v

@@ -8,6 +8,11 @@
 //! * [`matrix`] / [`lu`] — dense matrices and LU factorisation with partial
 //!   pivoting, over both real and complex scalars (used by the MNA circuit
 //!   simulator);
+//! * [`banded`] — band-storage matrices and bandwidth-aware LU
+//!   (`O(n·b²)` factorisation, `O(n·b)` solves);
+//! * [`ordering`] — reverse Cuthill–McKee bandwidth reduction;
+//! * [`solver`] — the [`SolverBackend`](solver::SolverBackend) policy that
+//!   dispatches between the dense and banded kernels;
 //! * [`roots`] — bracketing root finders (bisection, Brent);
 //! * [`optimize`] — golden-section search, Nelder–Mead simplex and grid
 //!   refinement (used by the numerical repeater optimiser);
@@ -32,15 +37,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod banded;
 pub mod complex;
 pub mod interp;
 pub mod laplace;
 pub mod lu;
 pub mod matrix;
 pub mod optimize;
+pub mod ordering;
 pub mod poly;
 pub mod roots;
+pub mod solver;
 pub mod stats;
 
+pub use banded::{BandedLuFactor, BandedMatrix};
 pub use complex::Complex;
 pub use matrix::Matrix;
+pub use solver::{FactoredSolver, ResolvedBackend, SolverBackend};

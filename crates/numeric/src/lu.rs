@@ -126,8 +126,8 @@ impl<T: Scalar> LuFactor<T> {
         let mut y = vec![T::zero(); n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc = acc - self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc = acc - self.lu[(i, j)] * yj;
             }
             y[i] = acc;
         }
@@ -135,8 +135,8 @@ impl<T: Scalar> LuFactor<T> {
         let mut x = vec![T::zero(); n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc = acc - self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc = acc - self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -147,7 +147,7 @@ impl<T: Scalar> LuFactor<T> {
     /// the row swaps).
     pub fn determinant(&self) -> T {
         let n = self.dim();
-        let mut det = if self.num_swaps % 2 == 0 { T::one() } else { -T::one() };
+        let mut det = if self.num_swaps.is_multiple_of(2) { T::one() } else { -T::one() };
         for i in 0..n {
             det = det * self.lu[(i, i)];
         }
@@ -263,16 +263,12 @@ mod tests {
                 a[(i, j)] = next();
             }
             // Diagonal dominance keeps the system well-conditioned.
-            a[(i, i)] = a[(i, i)] + 10.0;
+            a[(i, i)] += 10.0;
         }
         let b: Vec<f64> = (0..n).map(|_| next()).collect();
         let x = solve(&a, &b).unwrap();
         let r = a.mul_vec(&x);
-        let max_resid = r
-            .iter()
-            .zip(b.iter())
-            .map(|(ri, bi)| (ri - bi).abs())
-            .fold(0.0, f64::max);
+        let max_resid = r.iter().zip(b.iter()).map(|(ri, bi)| (ri - bi).abs()).fold(0.0, f64::max);
         assert!(max_resid < 1e-10, "residual too large: {max_resid}");
     }
 

@@ -64,7 +64,13 @@ pub struct Minimum {
 ///
 /// Returns [`OptimizeError::InvalidBounds`] if `a >= b` and
 /// [`OptimizeError::NonFinite`] if the objective produces NaN.
-pub fn golden_section<F>(mut f: F, a: f64, b: f64, tol: f64, max_iter: usize) -> Result<Minimum, OptimizeError>
+pub fn golden_section<F>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Minimum, OptimizeError>
 where
     F: FnMut(f64) -> f64,
 {
@@ -168,7 +174,11 @@ where
     simplex.push(start.to_vec());
     for i in 0..n {
         let mut v = start.to_vec();
-        let step = if v[i].abs() > 1e-12 { options.initial_step * v[i].abs() } else { options.initial_step };
+        let step = if v[i].abs() > 1e-12 {
+            options.initial_step * v[i].abs()
+        } else {
+            options.initial_step
+        };
         v[i] += step;
         simplex.push(v);
     }
@@ -185,7 +195,9 @@ where
     for _ in 0..options.max_iterations {
         // Order the simplex by objective value.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&i, &j| {
+            values[i].partial_cmp(&values[j]).unwrap_or(std::cmp::Ordering::Equal)
+        });
         let simplex_sorted: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
         let values_sorted: Vec<f64> = order.iter().map(|&i| values[i]).collect();
         simplex = simplex_sorted;
@@ -205,11 +217,8 @@ where
             }
         }
 
-        let reflect: Vec<f64> = centroid
-            .iter()
-            .zip(simplex[n].iter())
-            .map(|(c, w)| c + ALPHA * (c - w))
-            .collect();
+        let reflect: Vec<f64> =
+            centroid.iter().zip(simplex[n].iter()).map(|(c, w)| c + ALPHA * (c - w)).collect();
         let f_reflect = eval(&reflect, &mut evals)?;
 
         if f_reflect < values[0] {
@@ -232,11 +241,8 @@ where
             values[n] = f_reflect;
         } else {
             // Contraction.
-            let contract: Vec<f64> = centroid
-                .iter()
-                .zip(simplex[n].iter())
-                .map(|(c, w)| c + RHO * (w - c))
-                .collect();
+            let contract: Vec<f64> =
+                centroid.iter().zip(simplex[n].iter()).map(|(c, w)| c + RHO * (w - c)).collect();
             let f_contract = eval(&contract, &mut evals)?;
             if f_contract < values[n] {
                 simplex[n] = contract;
@@ -287,7 +293,9 @@ where
         return Err(OptimizeError::InvalidBounds { reason: "grid ranges must be non-empty" });
     }
     if nx < 2 || ny < 2 {
-        return Err(OptimizeError::InvalidBounds { reason: "grid must have at least 2 points per axis" });
+        return Err(OptimizeError::InvalidBounds {
+            reason: "grid must have at least 2 points per axis",
+        });
     }
     let mut best = (x_range.0, y_range.0, f64::INFINITY);
     let mut evals = 0usize;
@@ -423,14 +431,13 @@ mod tests {
     #[test]
     fn grid_then_nelder_mead_refinement_pattern() {
         // The pattern used by the repeater optimiser: coarse grid, then polish.
-        let objective = |x: f64, y: f64| (x - 2.5).powi(2) * (1.0 + 0.1 * (y - 4.0).powi(2)) + (y - 4.0).powi(2);
+        let objective = |x: f64, y: f64| {
+            (x - 2.5).powi(2) * (1.0 + 0.1 * (y - 4.0).powi(2)) + (y - 4.0).powi(2)
+        };
         let coarse = grid_search_2d(objective, (0.1, 10.0), (0.1, 10.0), 20, 20).unwrap();
-        let refined = nelder_mead(
-            |p| objective(p[0], p[1]),
-            &coarse.point,
-            NelderMeadOptions::default(),
-        )
-        .unwrap();
+        let refined =
+            nelder_mead(|p| objective(p[0], p[1]), &coarse.point, NelderMeadOptions::default())
+                .unwrap();
         assert!((refined.point[0] - 2.5).abs() < 1e-4);
         assert!((refined.point[1] - 4.0).abs() < 1e-4);
     }

@@ -52,10 +52,7 @@ impl Polynomial {
 
     /// Evaluates the polynomial at a complex argument.
     pub fn eval_complex(&self, x: Complex) -> Complex {
-        self.coeffs
-            .iter()
-            .rev()
-            .fold(Complex::ZERO, |acc, &c| acc * x + c)
+        self.coeffs.iter().rev().fold(Complex::ZERO, |acc, &c| acc * x + c)
     }
 
     /// First derivative.
@@ -63,13 +60,7 @@ impl Polynomial {
         if self.coeffs.len() <= 1 {
             return Self::constant(0.0);
         }
-        let d = self
-            .coeffs
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, &c)| c * i as f64)
-            .collect();
+        let d = self.coeffs.iter().enumerate().skip(1).map(|(i, &c)| c * i as f64).collect();
         Self::new(d)
     }
 

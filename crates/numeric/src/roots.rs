@@ -54,7 +54,13 @@ impl Error for RootError {}
 /// Returns [`RootError::NotBracketed`] if `f(a)` and `f(b)` have the same
 /// sign, [`RootError::NonFinite`] if `f` produces NaN/infinity, and
 /// [`RootError::MaxIterations`] if the tolerance is not reached.
-pub fn bisect<F>(mut f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, RootError>
+pub fn bisect<F>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError>
 where
     F: FnMut(f64) -> f64,
 {
@@ -102,7 +108,13 @@ where
 /// # Errors
 ///
 /// Same error conditions as [`bisect`].
-pub fn brent<F>(mut f: F, mut a: f64, mut b: f64, tol: f64, max_iter: usize) -> Result<f64, RootError>
+pub fn brent<F>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError>
 where
     F: FnMut(f64) -> f64,
 {
@@ -150,7 +162,8 @@ where
         }
 
         let lower = (3.0 * a + b) / 4.0;
-        let cond1 = !((s > lower.min(b) && s < lower.max(b)) || (s > b.min(lower) && s < b.max(lower)));
+        let cond1 =
+            !((s > lower.min(b) && s < lower.max(b)) || (s > b.min(lower) && s < b.max(lower)));
         let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
         let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
         let cond4 = mflag && (b - c).abs() < tol;

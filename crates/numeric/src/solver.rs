@@ -1,0 +1,187 @@
+//! Pluggable linear-solver backends: dense or bandwidth-aware LU.
+//!
+//! Every analysis in the circuit simulator reduces to "factorise a constant
+//! matrix once, then solve against many right-hand sides". This module makes
+//! the factorisation kernel a policy choice:
+//!
+//! * [`SolverBackend::Dense`] — the classic `O(n³)`/`O(n²)` path of
+//!   [`crate::lu::LuFactor`], always applicable;
+//! * [`SolverBackend::Banded`] — the `O(n·b²)`/`O(n·b)` path of
+//!   [`crate::banded::BandedLuFactor`], a large win whenever the matrix is
+//!   narrowly banded (every RLC-ladder MNA system is, after reverse
+//!   Cuthill–McKee reordering);
+//! * [`SolverBackend::Auto`] — picks between them from the matrix dimension
+//!   and bandwidths, so callers get the banded speedup without opting in.
+//!
+//! [`FactoredSolver`] is the backend-erased factorisation: callers assemble a
+//! [`BandedMatrix`] (a degenerate full band is fine), call
+//! [`FactoredSolver::factor`], and solve without caring which kernel ran.
+
+use crate::banded::{BandedLuFactor, BandedMatrix};
+use crate::lu::{FactorizeError, LuFactor};
+use crate::matrix::Scalar;
+
+/// Which LU kernel to use for a factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Choose automatically from the matrix dimension and bandwidths.
+    #[default]
+    Auto,
+    /// Force the dense kernel.
+    Dense,
+    /// Force the bandwidth-aware kernel.
+    Banded,
+}
+
+impl SolverBackend {
+    /// Resolves `Auto` against a concrete matrix shape.
+    ///
+    /// The banded kernel stores `kl + min(kl+ku, n-1) + 1` diagonals, so it
+    /// only pays off while that stays below the full dimension; otherwise the
+    /// dense kernel's simpler inner loops win.
+    pub fn resolve(self, n: usize, kl: usize, ku: usize) -> ResolvedBackend {
+        match self {
+            Self::Dense => ResolvedBackend::Dense,
+            Self::Banded => ResolvedBackend::Banded,
+            Self::Auto => {
+                let factored_width = 2 * kl + ku + 1;
+                if factored_width < n {
+                    ResolvedBackend::Banded
+                } else {
+                    ResolvedBackend::Dense
+                }
+            }
+        }
+    }
+}
+
+/// The concrete kernel chosen after resolving [`SolverBackend::Auto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedBackend {
+    /// Dense LU with partial pivoting.
+    Dense,
+    /// Banded LU with partial pivoting.
+    Banded,
+}
+
+impl ResolvedBackend {
+    /// Human-readable kernel name (used in reports and examples).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dense => "dense",
+            Self::Banded => "banded",
+        }
+    }
+}
+
+/// A backend-erased LU factorisation.
+#[derive(Debug, Clone)]
+pub enum FactoredSolver<T: Scalar = f64> {
+    /// Factors held by the dense kernel.
+    Dense(LuFactor<T>),
+    /// Factors held by the banded kernel.
+    Banded(BandedLuFactor<T>),
+}
+
+impl<T: Scalar> FactoredSolver<T> {
+    /// Factorises `a` with the requested backend.
+    ///
+    /// The input is always band-form; a matrix with no useful structure is
+    /// simply a full band, which the dense kernel receives via
+    /// [`BandedMatrix::to_dense`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FactorizeError`] from the chosen kernel.
+    pub fn factor(a: &BandedMatrix<T>, backend: SolverBackend) -> Result<Self, FactorizeError> {
+        let resolved = backend.resolve(a.dim(), a.lower_bandwidth(), a.upper_bandwidth());
+        match resolved {
+            ResolvedBackend::Dense => Ok(Self::Dense(LuFactor::new(&a.to_dense())?)),
+            ResolvedBackend::Banded => Ok(Self::Banded(BandedLuFactor::new(a)?)),
+        }
+    }
+
+    /// Solves `A·x = b` with the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not equal the matrix dimension.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        match self {
+            Self::Dense(f) => f.solve(b),
+            Self::Banded(f) => f.solve(b),
+        }
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        match self {
+            Self::Dense(f) => f.dim(),
+            Self::Banded(f) => f.dim(),
+        }
+    }
+
+    /// Which kernel this factorisation uses.
+    pub fn backend(&self) -> ResolvedBackend {
+        match self {
+            Self::Dense(_) => ResolvedBackend::Dense,
+            Self::Banded(_) => ResolvedBackend::Banded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tridiagonal(n: usize) -> BandedMatrix<f64> {
+        let mut a = BandedMatrix::zeros(n, 1, 1);
+        for i in 0..n {
+            a.set(i, i, 4.0);
+            if i + 1 < n {
+                a.set(i, i + 1, -1.0);
+                a.set(i + 1, i, -1.0);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn auto_picks_banded_for_narrow_bands() {
+        assert_eq!(SolverBackend::Auto.resolve(100, 2, 2), ResolvedBackend::Banded);
+        assert_eq!(SolverBackend::Auto.resolve(100, 99, 99), ResolvedBackend::Dense);
+        // Tiny systems: the full band is not narrower than the matrix.
+        assert_eq!(SolverBackend::Auto.resolve(3, 1, 1), ResolvedBackend::Dense);
+    }
+
+    #[test]
+    fn forced_backends_are_respected() {
+        let a = tridiagonal(20);
+        let dense = FactoredSolver::factor(&a, SolverBackend::Dense).unwrap();
+        let banded = FactoredSolver::factor(&a, SolverBackend::Banded).unwrap();
+        assert_eq!(dense.backend(), ResolvedBackend::Dense);
+        assert_eq!(banded.backend(), ResolvedBackend::Banded);
+        assert_eq!(dense.backend().name(), "dense");
+        assert_eq!(banded.backend().name(), "banded");
+        assert_eq!(dense.dim(), 20);
+        assert_eq!(banded.dim(), 20);
+    }
+
+    #[test]
+    fn backends_agree_on_the_solution() {
+        let a = tridiagonal(50);
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).cos()).collect();
+        let dense = FactoredSolver::factor(&a, SolverBackend::Dense).unwrap().solve(&b);
+        let banded = FactoredSolver::factor(&a, SolverBackend::Banded).unwrap().solve(&b);
+        let auto = FactoredSolver::factor(&a, SolverBackend::Auto).unwrap().solve(&b);
+        for ((d, bd), au) in dense.iter().zip(banded.iter()).zip(auto.iter()) {
+            assert!((d - bd).abs() < 1e-13);
+            assert!((d - au).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn default_backend_is_auto() {
+        assert_eq!(SolverBackend::default(), SolverBackend::Auto);
+    }
+}

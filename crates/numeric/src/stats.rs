@@ -172,10 +172,7 @@ mod tests {
 
     #[test]
     fn summary_rejects_bad_input() {
-        assert!(matches!(
-            error_summary(&[], &[]),
-            Err(StatsError::LengthMismatch { .. })
-        ));
+        assert!(matches!(error_summary(&[], &[]), Err(StatsError::LengthMismatch { .. })));
         assert!(matches!(
             error_summary(&[1.0], &[1.0, 2.0]),
             Err(StatsError::LengthMismatch { .. })

@@ -6,6 +6,7 @@
 
 use proptest::prelude::*;
 
+use rlckit_numeric::banded::{BandedLuFactor, BandedMatrix};
 use rlckit_numeric::complex::Complex;
 use rlckit_numeric::laplace::talbot;
 use rlckit_numeric::lu::{solve, LuFactor};
@@ -16,10 +17,39 @@ use rlckit_numeric::roots::{bisect, brent};
 
 /// A random diagonally dominant matrix (guaranteed non-singular) and a RHS.
 fn arb_system(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (
-        proptest::collection::vec(-1.0f64..1.0, n * n),
-        proptest::collection::vec(-10.0f64..10.0, n),
-    )
+    (proptest::collection::vec(-1.0f64..1.0, n * n), proptest::collection::vec(-10.0f64..10.0, n))
+}
+
+/// Builds a diagonally dominant banded matrix of the given shape from a flat
+/// supply of band entries (`data` must hold at least `n * (kl + ku + 1)`
+/// values).
+fn banded_from_data(n: usize, kl: usize, ku: usize, data: &[f64]) -> BandedMatrix<f64> {
+    let mut a = BandedMatrix::zeros(n, kl, ku);
+    let mut next = data.iter().copied();
+    for i in 0..n {
+        let lo = i.saturating_sub(kl);
+        let hi = (i + ku).min(n - 1);
+        for j in lo..=hi {
+            a.set(i, j, next.next().expect("enough band data"));
+        }
+        // Diagonal dominance keeps the comparison numerically meaningful.
+        a.add_at(i, i, 4.0);
+    }
+    a
+}
+
+/// Checks banded against dense LU on the same system to a relative tolerance
+/// of 1e-12 componentwise (relative to the solution's infinity norm).
+fn assert_banded_matches_dense(a: &BandedMatrix<f64>, b: &[f64]) {
+    let banded = BandedLuFactor::new(a).expect("diagonally dominant").solve(b);
+    let dense = LuFactor::new(&a.to_dense()).expect("diagonally dominant").solve(b);
+    let scale = dense.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    for (idx, (u, v)) in banded.iter().zip(dense.iter()).enumerate() {
+        assert!(
+            (u - v).abs() <= 1e-12 * scale,
+            "component {idx}: banded {u} vs dense {v} (scale {scale})"
+        );
+    }
 }
 
 proptest! {
@@ -38,6 +68,41 @@ proptest! {
         for (ri, bi) in r.iter().zip(b.iter()) {
             prop_assert!((ri - bi).abs() < 1e-8, "residual {}", (ri - bi).abs());
         }
+    }
+
+    #[test]
+    fn banded_lu_matches_dense_on_random_banded_systems(
+        data in proptest::collection::vec(-1.0f64..1.0, 24 * 11),
+        b in proptest::collection::vec(-10.0f64..10.0, 24),
+        kl_raw in 0.0f64..5.0,
+        ku_raw in 0.0f64..5.0,
+    ) {
+        let n = 24;
+        let kl = kl_raw as usize;
+        let ku = ku_raw as usize;
+        let a = banded_from_data(n, kl, ku, &data);
+        assert_banded_matches_dense(&a, &b);
+    }
+
+    #[test]
+    fn banded_lu_matches_dense_on_tridiagonal_systems(
+        data in proptest::collection::vec(-1.0f64..1.0, 32 * 3),
+        b in proptest::collection::vec(-10.0f64..10.0, 32),
+    ) {
+        // Bandwidth-1 (kl = ku = 1): the shape every discretised RC line has.
+        let a = banded_from_data(32, 1, 1, &data);
+        assert_banded_matches_dense(&a, &b);
+    }
+
+    #[test]
+    fn banded_lu_matches_dense_in_the_full_bandwidth_degenerate_case(
+        data in proptest::collection::vec(-1.0f64..1.0, 12 * 23),
+        b in proptest::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        // kl = ku = n - 1: the band covers the whole matrix, so the banded
+        // kernel must degenerate gracefully to a (slower) dense factorisation.
+        let a = banded_from_data(12, 11, 11, &data);
+        assert_banded_matches_dense(&a, &b);
     }
 
     #[test]

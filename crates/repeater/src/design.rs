@@ -156,13 +156,16 @@ mod tests {
         assert!(d.sections >= 1);
         assert!(d.size > 1.0);
         assert!(d.total_delay.seconds() > 0.0);
-        assert!((d.section_length.meters() * d.sections as f64 - line.length().meters()).abs() < 1e-12);
+        assert!(
+            (d.section_length.meters() * d.sections as f64 - line.length().meters()).abs() < 1e-12
+        );
     }
 
     #[test]
     fn integer_rounding_never_beats_the_continuous_optimum_by_much() {
         let tech = Technology::quarter_micron();
-        let (line, tech) = designer_for(10.0, &tech, Technology::quarter_micron().intermediate_wire);
+        let (line, tech) =
+            designer_for(10.0, &tech, Technology::quarter_micron().intermediate_wire);
         let designer = RepeaterDesigner::new(&line, &tech);
         let placed = designer.design(DesignStrategy::Numerical).unwrap();
         let continuous = crate::numerical::optimize(&designer.problem().unwrap()).unwrap();
@@ -189,7 +192,8 @@ mod tests {
     #[test]
     fn numerical_and_closed_form_strategies_agree_closely() {
         let tech = Technology::quarter_micron();
-        let (line, tech) = designer_for(30.0, &tech, Technology::quarter_micron().intermediate_wire);
+        let (line, tech) =
+            designer_for(30.0, &tech, Technology::quarter_micron().intermediate_wire);
         let designer = RepeaterDesigner::new(&line, &tech);
         let closed = designer.design(DesignStrategy::RlcClosedForm).unwrap();
         let numerical = designer.design(DesignStrategy::Numerical).unwrap();

@@ -71,11 +71,7 @@ pub fn optimal_size_rlc(
     buffer_resistance: Resistance,
     buffer_capacitance: Capacitance,
 ) -> f64 {
-    let t = t_l_over_r(
-        line_resistance,
-        line_inductance,
-        buffer_resistance * buffer_capacitance,
-    );
+    let t = t_l_over_r(line_resistance, line_inductance, buffer_resistance * buffer_capacitance);
     crate::rc::optimal_size_rc(
         line_resistance,
         line_capacitance,
@@ -97,11 +93,7 @@ pub fn optimal_sections_rlc(
     buffer_resistance: Resistance,
     buffer_capacitance: Capacitance,
 ) -> f64 {
-    let t = t_l_over_r(
-        line_resistance,
-        line_inductance,
-        buffer_resistance * buffer_capacitance,
-    );
+    let t = t_l_over_r(line_resistance, line_inductance, buffer_resistance * buffer_capacitance);
     crate::rc::optimal_sections_rc(
         line_resistance,
         line_capacitance,
@@ -158,30 +150,44 @@ mod tests {
         // The paper's area-increase figures imply the products of the factors:
         // at T = 3, [1+0.18·27]^0.3 · [1+0.16·27]^0.24 ≈ 2.54 (154% increase);
         // at T = 5 the product is ≈ 5.35 (435% increase).
-        let product =
-            |t: f64| 1.0 / (size_error_factor(t) * sections_error_factor(t));
+        let product = |t: f64| 1.0 / (size_error_factor(t) * sections_error_factor(t));
         assert!((product(3.0) - 2.54).abs() < 0.05, "product at T=3 is {}", product(3.0));
         assert!((product(5.0) - 5.35).abs() < 0.15, "product at T=5 is {}", product(5.0));
     }
 
     #[test]
     fn rlc_optimum_reduces_to_rc_as_inductance_vanishes() {
-        let h_rlc = optimal_size_rlc(ohms(100.0), henries(1e-15), farads(2e-12), ohms(10e3), farads(2e-15));
-        let h_rc = crate::rc::optimal_size_rc(ohms(100.0), farads(2e-12), ohms(10e3), farads(2e-15));
+        let h_rlc =
+            optimal_size_rlc(ohms(100.0), henries(1e-15), farads(2e-12), ohms(10e3), farads(2e-15));
+        let h_rc =
+            crate::rc::optimal_size_rc(ohms(100.0), farads(2e-12), ohms(10e3), farads(2e-15));
         assert!((h_rlc - h_rc).abs() / h_rc < 1e-6);
-        let k_rlc =
-            optimal_sections_rlc(ohms(100.0), henries(1e-15), farads(2e-12), ohms(10e3), farads(2e-15));
-        let k_rc = crate::rc::optimal_sections_rc(ohms(100.0), farads(2e-12), ohms(10e3), farads(2e-15));
+        let k_rlc = optimal_sections_rlc(
+            ohms(100.0),
+            henries(1e-15),
+            farads(2e-12),
+            ohms(10e3),
+            farads(2e-15),
+        );
+        let k_rc =
+            crate::rc::optimal_sections_rc(ohms(100.0), farads(2e-12), ohms(10e3), farads(2e-15));
         assert!((k_rlc - k_rc).abs() / k_rc < 1e-6);
     }
 
     #[test]
     fn inductance_reduces_both_size_and_sections() {
         let h_rc = crate::rc::optimal_size_rc(ohms(10.0), farads(2e-12), ohms(10e3), farads(2e-15));
-        let k_rc = crate::rc::optimal_sections_rc(ohms(10.0), farads(2e-12), ohms(10e3), farads(2e-15));
-        let h_rlc = optimal_size_rlc(ohms(10.0), henries(5e-9), farads(2e-12), ohms(10e3), farads(2e-15));
-        let k_rlc =
-            optimal_sections_rlc(ohms(10.0), henries(5e-9), farads(2e-12), ohms(10e3), farads(2e-15));
+        let k_rc =
+            crate::rc::optimal_sections_rc(ohms(10.0), farads(2e-12), ohms(10e3), farads(2e-15));
+        let h_rlc =
+            optimal_size_rlc(ohms(10.0), henries(5e-9), farads(2e-12), ohms(10e3), farads(2e-15));
+        let k_rlc = optimal_sections_rlc(
+            ohms(10.0),
+            henries(5e-9),
+            farads(2e-12),
+            ohms(10e3),
+            farads(2e-15),
+        );
         assert!(h_rlc < h_rc);
         assert!(k_rlc < k_rc);
     }

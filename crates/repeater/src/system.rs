@@ -89,7 +89,10 @@ impl RepeaterProblem {
     ///
     /// Returns [`RepeaterError::InvalidParameter`] under the same rules as
     /// [`RepeaterProblem::new`].
-    pub fn for_line(line: &DistributedLine, technology: &Technology) -> Result<Self, RepeaterError> {
+    pub fn for_line(
+        line: &DistributedLine,
+        technology: &Technology,
+    ) -> Result<Self, RepeaterError> {
         Self::new(
             line.total_resistance(),
             line.total_inductance(),
@@ -156,7 +159,10 @@ impl RepeaterProblem {
             return Err(RepeaterError::InvalidParameter { what: "repeater size h", value: size });
         }
         if !(sections > 0.0) || !sections.is_finite() {
-            return Err(RepeaterError::InvalidParameter { what: "section count k", value: sections });
+            return Err(RepeaterError::InvalidParameter {
+                what: "section count k",
+                value: sections,
+            });
         }
         GateRlcLoad::new(
             self.total_resistance / sections,
@@ -326,9 +332,7 @@ mod tests {
         let opt = p.rlc_optimum();
         let d_opt = opt.total_delay;
         for (dh, dk) in [(1.3, 1.0), (0.7, 1.0), (1.0, 1.6), (1.0, 0.6)] {
-            let neighbour = p
-                .design(opt.size * dh, (opt.sections * dk).max(1.0))
-                .unwrap();
+            let neighbour = p.design(opt.size * dh, (opt.sections * dk).max(1.0)).unwrap();
             assert!(
                 neighbour.total_delay.seconds() >= d_opt.seconds() * 0.999,
                 "neighbour (h×{dh}, k×{dk}) is faster than the closed-form optimum"
@@ -368,9 +372,11 @@ mod tests {
 
     #[test]
     fn rounded_sections_is_at_least_one() {
-        let d = RepeaterDesign { size: 10.0, sections: 0.3, total_delay: Time::from_picoseconds(1.0) };
+        let d =
+            RepeaterDesign { size: 10.0, sections: 0.3, total_delay: Time::from_picoseconds(1.0) };
         assert_eq!(d.rounded_sections(), 1);
-        let d = RepeaterDesign { size: 10.0, sections: 3.6, total_delay: Time::from_picoseconds(1.0) };
+        let d =
+            RepeaterDesign { size: 10.0, sections: 3.6, total_delay: Time::from_picoseconds(1.0) };
         assert_eq!(d.rounded_sections(), 4);
     }
 

@@ -84,10 +84,7 @@ pub fn cheapest_within_slack(
         });
     }
     let points = sections_sweep(problem, max_sections)?;
-    let best_delay = points
-        .iter()
-        .map(|p| p.total_delay.seconds())
-        .fold(f64::INFINITY, f64::min);
+    let best_delay = points.iter().map(|p| p.total_delay.seconds()).fold(f64::INFINITY, f64::min);
     let budget = best_delay * (1.0 + slack_percent / 100.0);
     let cheapest = points
         .into_iter()
@@ -110,10 +107,7 @@ mod tests {
 
     fn resistive_problem() -> RepeaterProblem {
         let tech = Technology::quarter_micron();
-        let line = tech
-            .intermediate_wire
-            .line(Length::from_millimeters(20.0))
-            .unwrap();
+        let line = tech.intermediate_wire.line(Length::from_millimeters(20.0)).unwrap();
         RepeaterProblem::for_line(&line, &tech).unwrap()
     }
 
@@ -178,7 +172,9 @@ mod tests {
         assert!(
             relaxed.repeater_area.square_meters() < 0.95 * tight.repeater_area.square_meters(),
             "10% slack saved only {:.1}%",
-            100.0 * (1.0 - relaxed.repeater_area.square_meters() / tight.repeater_area.square_meters())
+            100.0
+                * (1.0
+                    - relaxed.repeater_area.square_meters() / tight.repeater_area.square_meters())
         );
         assert!(cheapest_within_slack(&p, 12, -1.0).is_err());
     }
@@ -187,10 +183,8 @@ mod tests {
     fn zero_slack_returns_the_delay_optimal_point() {
         let p = inductive_problem();
         let points = sections_sweep(&p, 8).unwrap();
-        let best_delay = points
-            .iter()
-            .map(|p| p.total_delay.seconds())
-            .fold(f64::INFINITY, f64::min);
+        let best_delay =
+            points.iter().map(|p| p.total_delay.seconds()).fold(f64::INFINITY, f64::min);
         let chosen = cheapest_within_slack(&p, 8, 0.0).unwrap();
         assert!((chosen.total_delay.seconds() - best_delay).abs() < 1e-15);
     }

@@ -362,10 +362,7 @@ impl Time {
     /// Panics if `reference` is zero.
     #[inline]
     pub fn percent_error_vs(self, reference: Self) -> f64 {
-        assert!(
-            reference.seconds() != 0.0,
-            "reference time must be non-zero for a relative error"
-        );
+        assert!(reference.seconds() != 0.0, "reference time must be non-zero for a relative error");
         (self.seconds() - reference.seconds()).abs() / reference.seconds().abs() * 100.0
     }
 }

@@ -9,9 +9,9 @@
 //!
 //! Run with `cargo run --release --example bus_delay_budget`.
 
+use rlckit::interconnect::merit::SignificanceWindow;
 use rlckit::model::rc_models::sakurai_delay;
 use rlckit::prelude::*;
-use rlckit::interconnect::merit::SignificanceWindow;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::quarter_micron();
@@ -52,6 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nnegative error = RC underestimates (short, inductive) ; positive = RC overestimates.");
+    println!(
+        "\nnegative error = RC underestimates (short, inductive) ; positive = RC overestimates."
+    );
     Ok(())
 }

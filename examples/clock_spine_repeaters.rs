@@ -23,11 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<18} {:>9} {:>10} {:>12} {:>14} {:>14}",
         "strategy", "sections", "size (x)", "delay", "area (um^2)", "energy (fJ)"
     );
-    for strategy in [
-        DesignStrategy::RcClosedForm,
-        DesignStrategy::RlcClosedForm,
-        DesignStrategy::Numerical,
-    ] {
+    for strategy in
+        [DesignStrategy::RcClosedForm, DesignStrategy::RlcClosedForm, DesignStrategy::Numerical]
+    {
         let d = designer.design(strategy)?;
         println!(
             "{:<18} {:>9} {:>10.1} {:>12} {:>14.1} {:>14.2}",

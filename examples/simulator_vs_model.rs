@@ -12,6 +12,7 @@
 //!
 //! Run with `cargo run --release --example simulator_vs_model`.
 
+use rlckit::circuit::mna::MnaSystem;
 use rlckit::circuit::transient::{run_transient, TransientOptions};
 use rlckit::model::response::TwoPoleResponse;
 use rlckit::prelude::*;
@@ -42,7 +43,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let wave = result.node_voltage(ladder.output);
 
     println!("operating point: Rt = 1 kΩ, Lt = 10 nH, Ct = 1 pF, Rtr = 500 Ω, CL = 0.5 pF");
-    println!("zeta = {:.3}  (underdamped < 1 < overdamped)\n", load.zeta());
+    println!("zeta = {:.3}  (underdamped < 1 < overdamped)", load.zeta());
+
+    // The solve path the simulator picked: the ladder's MNA system has a
+    // constant bandwidth under the reverse Cuthill–McKee ordering, so the
+    // backend dispatch selects the banded O(n·b²) kernel automatically.
+    let mna = MnaSystem::build(&ladder.circuit)?;
+    let (kl, ku) = mna.bandwidth();
+    println!(
+        "MNA system: {} unknowns, RCM bandwidth (kl = {kl}, ku = {ku}) → {} solver\n",
+        mna.dim(),
+        result.backend().name(),
+    );
 
     println!("{:>10} {:>12} {:>12} {:>12}", "t (ps)", "ladder sim", "exact 2-port", "2-pole model");
     let horizon = spec.suggested_stop_time().seconds();
@@ -64,9 +76,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  exact Laplace-domain 2-port : {exact_delay}");
     println!("  two-pole analytic response  : {pade_delay}");
     println!("  closed form (Eq. 9)         : {closed_form}");
-    println!(
-        "\nEq. (9) vs simulation error: {:.2}%",
-        closed_form.percent_error_vs(sim_delay)
-    );
+    println!("\nEq. (9) vs simulation error: {:.2}%", closed_form.percent_error_vs(sim_delay));
     Ok(())
 }

@@ -16,14 +16,8 @@ use rlckit::repeater::rlc::{sections_error_factor, size_error_factor, t_l_over_r
 /// Rt ∈ [1 Ω, 10 kΩ], Lt ∈ [10 pH, 10 µH], Ct ∈ [10 fF, 10 pF],
 /// Rtr ∈ [0, 5 kΩ], CL ∈ [0, 5 pF].
 fn arb_load() -> impl Strategy<Value = GateRlcLoad> {
-    (
-        1.0f64..1e4,
-        1e-11f64..1e-5,
-        1e-14f64..1e-11,
-        0.0f64..5e3,
-        0.0f64..5e-12,
-    )
-        .prop_map(|(rt, lt, ct, rtr, cl)| {
+    (1.0f64..1e4, 1e-11f64..1e-5, 1e-14f64..1e-11, 0.0f64..5e3, 0.0f64..5e-12).prop_map(
+        |(rt, lt, ct, rtr, cl)| {
             GateRlcLoad::new(
                 Resistance::from_ohms(rt),
                 Inductance::from_henries(lt),
@@ -32,7 +26,8 @@ fn arb_load() -> impl Strategy<Value = GateRlcLoad> {
                 Capacitance::from_farads(cl),
             )
             .expect("strategy only produces valid impedances")
-        })
+        },
+    )
 }
 
 proptest! {

@@ -14,11 +14,9 @@ use rlckit::repeater::numerical::optimize;
 #[test]
 fn designer_produces_consistent_integer_designs() {
     let tech = Technology::quarter_micron();
-    for (wire, mm) in [
-        (tech.global_wire, 50.0),
-        (tech.intermediate_wire, 10.0),
-        (tech.intermediate_wire, 30.0),
-    ] {
+    for (wire, mm) in
+        [(tech.global_wire, 50.0), (tech.intermediate_wire, 10.0), (tech.intermediate_wire, 30.0)]
+    {
         let line = wire.line(Length::from_millimeters(mm)).expect("valid line");
         let designer = RepeaterDesigner::new(&line, &tech);
         let rlc = designer.design(DesignStrategy::RlcClosedForm).expect("design");
@@ -66,10 +64,7 @@ fn closed_form_repeater_design_tracks_numerical_optimum_over_t_sweep() {
         let numerical = optimize(&problem).expect("numerical optimum");
         let excess = (closed.total_delay.seconds() - numerical.design.total_delay.seconds())
             / numerical.design.total_delay.seconds();
-        assert!(
-            excess.abs() < 0.01,
-            "T_L/R = {t_l_over_r}: closed-form delay excess {excess}"
-        );
+        assert!(excess.abs() < 0.01, "T_L/R = {t_l_over_r}: closed-form delay excess {excess}");
     }
 }
 
@@ -118,15 +113,11 @@ fn one_section_of_the_chosen_design_is_accurately_modelled() {
     // intermediate wire, carve out one section, and check Eq. (9) against the
     // transient simulation of that section.
     let tech = Technology::quarter_micron();
-    let line = tech
-        .intermediate_wire
-        .line(Length::from_millimeters(20.0))
-        .expect("valid line");
+    let line = tech.intermediate_wire.line(Length::from_millimeters(20.0)).expect("valid line");
     let problem = RepeaterProblem::for_line(&line, &tech).expect("valid problem");
     let design = problem.rlc_optimum();
-    let section = problem
-        .section_load(design.size, design.sections.max(1.0))
-        .expect("valid section");
+    let section =
+        problem.section_load(design.size, design.sections.max(1.0)).expect("valid section");
 
     let model = propagation_delay(&section);
     let spec = LadderSpec {

@@ -61,7 +61,7 @@ fn timestep_refinement_does_not_change_the_answer() {
 
     let mut delays = Vec::new();
     for dt in [coarse_dt, fine_dt] {
-        let options = TransientOptions { stop_time: stop, step: dt, method: Integration::Trapezoidal };
+        let options = TransientOptions::new(stop, dt);
         let result = run_transient(&line.circuit, &options).expect("runs");
         let delay = result
             .node_voltage(line.output)
@@ -83,7 +83,8 @@ fn integration_methods_agree_on_the_delay() {
     let dt = spec.suggested_timestep() / 2.0;
     let mut delays = Vec::new();
     for method in [Integration::Trapezoidal, Integration::BackwardEuler] {
-        let options = TransientOptions { stop_time: stop, step: dt, method };
+        let mut options = TransientOptions::new(stop, dt);
+        options.method = method;
         let result = run_transient(&line.circuit, &options).expect("runs");
         delays.push(
             result
@@ -103,7 +104,8 @@ fn final_value_is_the_supply_regardless_of_damping() {
         let mut spec = base_spec(40, SegmentStyle::Pi);
         spec.total_inductance = Inductance::from_henries(lt);
         let line = spec.build().expect("builds");
-        let options = TransientOptions::new(spec.suggested_stop_time() * 3.0, spec.suggested_timestep());
+        let options =
+            TransientOptions::new(spec.suggested_stop_time() * 3.0, spec.suggested_timestep());
         let result = run_transient(&line.circuit, &options).expect("runs");
         let final_v = result.final_node_voltage(line.output).volts();
         assert!((final_v - 1.0).abs() < 0.02, "Lt = {lt}: final value {final_v}");
