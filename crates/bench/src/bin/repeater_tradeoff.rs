@@ -1,6 +1,6 @@
 //! Extension experiment: delay / area / energy trade-off of repeated lines.
 //!
-//! Beyond the paper's delay-optimal design (its ref. [10] studies this
+//! Beyond the paper's delay-optimal design (its ref. \[10\] studies this
 //! trade-off for RC lines), this binary sweeps the number of sections for one
 //! resistive and one inductive wire, re-optimising the repeater size at each
 //! count, and reports how much area and switching energy a small delay slack

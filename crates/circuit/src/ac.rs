@@ -222,6 +222,48 @@ mod tests {
     }
 
     #[test]
+    fn coupled_inductor_pair_matches_the_transformer_two_port() {
+        // Source → R1 → L1‖gnd, magnetically coupled to L2‖gnd loaded by R2:
+        // the classical transformer. Closed form (currents flowing plus → minus
+        // through each inductor, both plus terminals dotted):
+        //   I1 = Vs / (R1 + s·L1 − (s·M)²/(R2 + s·L2))
+        //   V2 = s·M·I1·R2 / (R2 + s·L2)
+        let r1 = 75.0;
+        let r2 = 50.0;
+        let l1 = 4e-9f64;
+        let l2 = 9e-9;
+        let k = 0.6;
+        let m = k * (l1 * l2).sqrt();
+
+        let mut c = Circuit::new();
+        let input = c.add_node();
+        let primary = c.add_node();
+        let secondary = c.add_node();
+        let gnd = c.ground();
+        let src = c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(input, primary, Resistance::from_ohms(r1)).unwrap();
+        let first = c.add_inductor(primary, gnd, Inductance::from_henries(l1)).unwrap();
+        let second = c.add_inductor(secondary, gnd, Inductance::from_henries(l2)).unwrap();
+        c.add_resistor(secondary, gnd, Resistance::from_ohms(r2)).unwrap();
+        c.add_mutual_inductor(first, second, k).unwrap();
+
+        for &(re, im) in &[(0.0, 2e9), (0.0, 2e10), (5e8, -8e9), (1e9, 1e9)] {
+            let s = Complex::new(re, im);
+            let sm = s * m;
+            let z2 = Complex::from_real(r2) + s * l2;
+            let i1 = (Complex::from_real(r1) + s * l1 - sm * sm * z2.recip()).recip();
+            let want = sm * i1 * r2 * z2.recip();
+            for backend in [SolverBackend::Dense, SolverBackend::Banded] {
+                let got = solve_at_with(&c, src, s, backend).unwrap().node_voltage(secondary);
+                assert!(
+                    (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                    "s = {s} ({backend:?}): got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unknown_source_and_node_are_errors() {
         let (c, _, out) = rc_lowpass();
         assert!(matches!(

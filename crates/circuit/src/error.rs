@@ -25,6 +25,11 @@ pub enum CircuitError {
         /// The raw source index supplied.
         index: usize,
     },
+    /// An inductor identifier does not belong to this circuit.
+    UnknownInductor {
+        /// The raw inductor index supplied.
+        index: usize,
+    },
     /// The circuit has no elements to analyse.
     EmptyCircuit,
     /// The MNA matrix could not be factorised (floating node, short loop, ...).
@@ -56,6 +61,9 @@ impl fmt::Display for CircuitError {
             Self::UnknownSource { index } => {
                 write!(f, "source {index} does not belong to this circuit")
             }
+            Self::UnknownInductor { index } => {
+                write!(f, "inductor {index} does not belong to this circuit")
+            }
             Self::EmptyCircuit => write!(f, "circuit contains no elements"),
             Self::SingularSystem { stage } => {
                 write!(f, "circuit matrix is singular during {stage} (floating node or short loop)")
@@ -85,6 +93,7 @@ mod tests {
             .contains("resistance"));
         assert!(CircuitError::UnknownNode { index: 7 }.to_string().contains('7'));
         assert!(CircuitError::UnknownSource { index: 2 }.to_string().contains('2'));
+        assert!(CircuitError::UnknownInductor { index: 4 }.to_string().contains("inductor 4"));
         assert!(CircuitError::EmptyCircuit.to_string().contains("no elements"));
         assert!(CircuitError::SingularSystem { stage: "dc" }.to_string().contains("dc"));
         assert!(CircuitError::InvalidAnalysis { reason: "zero step" }

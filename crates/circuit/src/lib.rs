@@ -76,7 +76,7 @@ pub mod transient;
 pub mod waveform;
 
 pub use error::CircuitError;
-pub use netlist::{Circuit, NodeId, SourceId};
+pub use netlist::{Circuit, InductorId, NodeId, SourceId};
 pub use rlckit_numeric::solver::{ResolvedBackend, SolverBackend};
 pub use source::SourceWaveform;
 pub use waveform::Waveform;

@@ -106,6 +106,10 @@ impl MnaSystem {
         };
 
         let mut next_branch = node_unknowns;
+        // Branch row and inductance of every inductor in insertion order,
+        // for resolving mutual-coupling references. `Circuit` guarantees a
+        // mutual element is inserted after both of its inductors.
+        let mut inductors: Vec<(usize, f64)> = Vec::with_capacity(circuit.inductor_count());
         for element in circuit.elements() {
             match element {
                 Element::Resistor { plus, minus, value } => {
@@ -120,6 +124,18 @@ impl MnaSystem {
                     next_branch += 1;
                     stamp_branch_incidence(&mut g_stamps, row_of(*plus), row_of(*minus), b);
                     c_stamps.push((b, b, -value.henries()));
+                    inductors.push((b, value.henries()));
+                }
+                Element::MutualInductor { first, second, coupling } => {
+                    // The branch equation of an inductor coupled to another
+                    // is v⁺ − v⁻ = L·dI/dt + M·dI_other/dt: the mutual term
+                    // is an off-diagonal −M in the storage matrix, mirroring
+                    // the −L convention of the diagonal.
+                    let (b1, l1) = inductors[first.index()];
+                    let (b2, l2) = inductors[second.index()];
+                    let mutual = coupling * (l1 * l2).sqrt();
+                    c_stamps.push((b1, b2, -mutual));
+                    c_stamps.push((b2, b1, -mutual));
                 }
                 Element::VoltageSource { plus, minus, source, waveform } => {
                     let b = next_branch;
@@ -444,6 +460,50 @@ mod tests {
         assert_eq!(g[(1, 3)], -1.0);
         assert_eq!(g[(3, 0)], 1.0);
         assert_eq!(g[(3, 1)], -1.0);
+    }
+
+    #[test]
+    fn mutual_inductor_stamps_minus_m_between_branch_rows() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        let l1 = c.add_inductor(a, gnd, Inductance::from_nanohenries(2.0)).unwrap();
+        let l2 = c.add_inductor(b, gnd, Inductance::from_nanohenries(8.0)).unwrap();
+        c.add_resistor(b, gnd, Resistance::from_ohms(50.0)).unwrap();
+        c.add_mutual_inductor(l1, l2, 0.5).unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        // 2 nodes + 3 branches (source + 2 inductors); the K element adds none.
+        assert_eq!(mna.dim(), 5);
+        let cc = mna.dense_c();
+        // M = k·sqrt(L1·L2) = 0.5·sqrt(2n·8n) = 2 nH, stamped as −M
+        // symmetrically between the two inductor branch rows (3 and 4).
+        let m = 0.5 * (2e-9f64 * 8e-9).sqrt();
+        assert!((cc[(3, 4)] + m).abs() < 1e-22);
+        assert!((cc[(4, 3)] + m).abs() < 1e-22);
+        // The self terms are untouched.
+        assert!((cc[(3, 3)] + 2e-9).abs() < 1e-22);
+        assert!((cc[(4, 4)] + 8e-9).abs() < 1e-22);
+        // The K element leaves G alone.
+        let g = mna.dense_g();
+        assert_eq!(g[(3, 4)], 0.0);
+        assert_eq!(g[(4, 3)], 0.0);
+    }
+
+    #[test]
+    fn negative_coupling_flips_the_mutual_sign() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        let l1 = c.add_inductor(a, gnd, Inductance::from_nanohenries(4.0)).unwrap();
+        let l2 = c.add_inductor(b, gnd, Inductance::from_nanohenries(4.0)).unwrap();
+        c.add_mutual_inductor(l1, l2, -0.25).unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        let cc = mna.dense_c();
+        assert!((cc[(3, 4)] - 0.25 * 4e-9).abs() < 1e-22);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! returned by [`Circuit::ground`]. Element values are validated at insertion
 //! so analyses can assume well-formed data.
 
+use std::collections::HashMap;
+
 use rlckit_units::{Capacitance, Inductance, Resistance};
 
 use crate::error::CircuitError;
@@ -42,6 +44,17 @@ impl SourceId {
     }
 }
 
+/// Identifier of an inductor within a circuit, used to attach mutual coupling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InductorId(pub(crate) usize);
+
+impl InductorId {
+    /// Raw index of the inductor in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// A linear circuit element.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Element {
@@ -71,6 +84,20 @@ pub enum Element {
         minus: NodeId,
         /// Inductance value.
         value: Inductance,
+    },
+    /// Mutual inductive coupling between two previously added inductors
+    /// (a SPICE `K` element). Adds no unknowns of its own: it stamps the
+    /// mutual inductance `M = k·sqrt(L1·L2)` between the two inductor branch
+    /// rows.
+    MutualInductor {
+        /// The first coupled inductor.
+        first: InductorId,
+        /// The second coupled inductor.
+        second: InductorId,
+        /// Coupling coefficient `k ∈ (-1, 1)`, `k ≠ 0`. A positive `k` means
+        /// the two `plus` terminals are the dotted terminals (fields aiding
+        /// when both branch currents flow `plus` → `minus`).
+        coupling: f64,
     },
     /// An independent voltage source. Its branch current becomes an MNA unknown.
     VoltageSource {
@@ -104,6 +131,10 @@ pub struct Circuit {
     num_nodes: usize,
     elements: Vec<Element>,
     num_sources: usize,
+    num_inductors: usize,
+    /// Running sum of the coupling coefficients stamped between each inductor
+    /// pair (keyed by ordered indices), so the cumulative |k| stays below 1.
+    mutual_coupling: HashMap<(usize, usize), f64>,
 }
 
 impl Default for Circuit {
@@ -115,7 +146,13 @@ impl Default for Circuit {
 impl Circuit {
     /// Creates an empty circuit containing only the ground node.
     pub fn new() -> Self {
-        Self { num_nodes: 1, elements: Vec::new(), num_sources: 0 }
+        Self {
+            num_nodes: 1,
+            elements: Vec::new(),
+            num_sources: 0,
+            num_inductors: 0,
+            mutual_coupling: HashMap::new(),
+        }
     }
 
     /// The ground (reference) node.
@@ -140,6 +177,11 @@ impl Circuit {
         self.num_sources
     }
 
+    /// Number of inductors.
+    pub fn inductor_count(&self) -> usize {
+        self.num_inductors
+    }
+
     /// The elements in insertion order.
     pub fn elements(&self) -> &[Element] {
         &self.elements
@@ -155,6 +197,14 @@ impl Circuit {
             Ok(())
         } else {
             Err(CircuitError::UnknownNode { index: node.0 })
+        }
+    }
+
+    fn check_inductor(&self, inductor: InductorId) -> Result<(), CircuitError> {
+        if inductor.0 < self.num_inductors {
+            Ok(())
+        } else {
+            Err(CircuitError::UnknownInductor { index: inductor.0 })
         }
     }
 
@@ -206,6 +256,9 @@ impl Circuit {
 
     /// Adds an inductor between `plus` and `minus`.
     ///
+    /// Returns the [`InductorId`] used to couple this inductor to others with
+    /// [`Circuit::add_mutual_inductor`].
+    ///
     /// # Errors
     ///
     /// Returns [`CircuitError::InvalidValue`] if the inductance is not finite
@@ -215,11 +268,66 @@ impl Circuit {
         plus: NodeId,
         minus: NodeId,
         value: Inductance,
-    ) -> Result<(), CircuitError> {
+    ) -> Result<InductorId, CircuitError> {
         self.check_node(plus)?;
         self.check_node(minus)?;
         Self::check_positive(value.henries(), "inductance")?;
+        let id = InductorId(self.num_inductors);
+        self.num_inductors += 1;
         self.elements.push(Element::Inductor { plus, minus, value });
+        Ok(id)
+    }
+
+    /// Adds mutual inductive coupling `k` between two previously added
+    /// inductors (a SPICE `K` element). The mutual inductance stamped into
+    /// the MNA system is `M = k·sqrt(L1·L2)`; a positive `k` makes the two
+    /// `plus` terminals the dotted pair.
+    ///
+    /// The `|k| < 1` bound (enforced per pair, cumulatively over repeated `K`
+    /// elements) is necessary but — for three or more mutually coupled
+    /// inductors — not sufficient for a physical system: the full inductance
+    /// matrix must be positive definite, which is the caller's
+    /// responsibility (`rlckit-coupling` validates it at the bus level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] if `k` is not finite, is zero,
+    /// does not satisfy `|k| < 1` (cumulatively, when several `K` elements
+    /// couple the same pair), or couples an inductor to itself, and
+    /// [`CircuitError::UnknownInductor`] if either identifier does not belong
+    /// to this circuit.
+    pub fn add_mutual_inductor(
+        &mut self,
+        first: InductorId,
+        second: InductorId,
+        coupling: f64,
+    ) -> Result<(), CircuitError> {
+        self.check_inductor(first)?;
+        self.check_inductor(second)?;
+        if !coupling.is_finite() || coupling == 0.0 || coupling.abs() >= 1.0 {
+            return Err(CircuitError::InvalidValue {
+                what: "coupling coefficient",
+                value: coupling,
+            });
+        }
+        if first == second {
+            return Err(CircuitError::InvalidValue {
+                what: "mutual coupling pair (an inductor cannot couple to itself)",
+                value: first.index() as f64,
+            });
+        }
+        // Several K elements on one pair stamp additively, so the physical
+        // |k| < 1 bound must hold for their sum too.
+        let key = (first.index().min(second.index()), first.index().max(second.index()));
+        let total = self.mutual_coupling.get(&key).copied().unwrap_or(0.0) + coupling;
+        if total.abs() >= 1.0 {
+            return Err(CircuitError::InvalidValue {
+                what: "cumulative coupling coefficient of an inductor pair",
+                value: total,
+            });
+        }
+        self.mutual_coupling.insert(key, total);
+        self.elements.push(Element::MutualInductor { first, second, coupling });
         Ok(())
     }
 
@@ -230,7 +338,9 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::UnknownNode`] for foreign nodes.
+    /// Returns [`CircuitError::UnknownNode`] for foreign nodes and
+    /// [`CircuitError::InvalidValue`] for a waveform with non-finite levels
+    /// or times (see [`SourceWaveform::validate`]).
     pub fn add_voltage_source(
         &mut self,
         plus: NodeId,
@@ -239,6 +349,7 @@ impl Circuit {
     ) -> Result<SourceId, CircuitError> {
         self.check_node(plus)?;
         self.check_node(minus)?;
+        waveform.validate()?;
         let source = SourceId(self.num_sources);
         self.num_sources += 1;
         self.elements.push(Element::VoltageSource { plus, minus, source, waveform });
@@ -250,7 +361,9 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`CircuitError::UnknownNode`] for foreign nodes.
+    /// Returns [`CircuitError::UnknownNode`] for foreign nodes and
+    /// [`CircuitError::InvalidValue`] for a waveform with non-finite levels
+    /// or times (see [`SourceWaveform::validate`]).
     pub fn add_current_source(
         &mut self,
         plus: NodeId,
@@ -259,6 +372,7 @@ impl Circuit {
     ) -> Result<SourceId, CircuitError> {
         self.check_node(plus)?;
         self.check_node(minus)?;
+        waveform.validate()?;
         let source = SourceId(self.num_sources);
         self.num_sources += 1;
         self.elements.push(Element::CurrentSource { plus, minus, source, waveform });
@@ -274,7 +388,7 @@ impl Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rlckit_units::Voltage;
+    use rlckit_units::{Time, Voltage};
 
     #[test]
     fn node_management() {
@@ -317,6 +431,131 @@ mod tests {
             c.add_inductor(a, gnd, Inductance::from_henries(f64::INFINITY)),
             Err(CircuitError::InvalidValue { .. })
         ));
+    }
+
+    #[test]
+    fn mutual_inductor_insertion_and_validation() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        let l1 = c.add_inductor(a, gnd, Inductance::from_nanohenries(2.0)).unwrap();
+        let l2 = c.add_inductor(b, gnd, Inductance::from_nanohenries(8.0)).unwrap();
+        assert_eq!(l1.index(), 0);
+        assert_eq!(l2.index(), 1);
+        assert_eq!(c.inductor_count(), 2);
+
+        c.add_mutual_inductor(l1, l2, 0.5).unwrap();
+        assert!(matches!(
+            c.elements().last(),
+            Some(Element::MutualInductor { coupling, .. }) if *coupling == 0.5
+        ));
+        // Negative coupling (reversed dots) is allowed.
+        c.add_mutual_inductor(l2, l1, -0.9).unwrap();
+
+        // Out-of-range identifiers.
+        assert!(matches!(
+            c.add_mutual_inductor(l1, InductorId(7), 0.5),
+            Err(CircuitError::UnknownInductor { index: 7 })
+        ));
+        // Self-coupling and out-of-range/non-finite coefficients all use the
+        // InvalidValue variant, consistently with the other element adders.
+        assert!(matches!(
+            c.add_mutual_inductor(l1, l1, 0.5),
+            Err(CircuitError::InvalidValue { .. })
+        ));
+        for k in [0.0, 1.0, -1.0, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    c.add_mutual_inductor(l1, l2, k),
+                    Err(CircuitError::InvalidValue { what: "coupling coefficient", .. })
+                ),
+                "k = {k} should be rejected"
+            );
+        }
+
+        // Several K elements on one pair stamp additively, so the |k| < 1
+        // bound applies to the running sum too: 0.5 − 0.9 + 0.8 = 0.4 is
+        // fine, but a further 0.7 (total 1.1) is not — in either argument
+        // order.
+        c.add_mutual_inductor(l1, l2, 0.8).unwrap();
+        assert!(matches!(
+            c.add_mutual_inductor(l2, l1, 0.7),
+            Err(CircuitError::InvalidValue {
+                what: "cumulative coupling coefficient of an inductor pair",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_source_waveforms_are_rejected() {
+        // Regression: source adders used to accept any waveform, so NaN or
+        // infinite levels reached the analyses. They must now fail with the
+        // same InvalidValue variant the passive-element adders use.
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let gnd = c.ground();
+        let bad_levels: Vec<SourceWaveform> = vec![
+            SourceWaveform::Dc { level: Voltage::from_volts(f64::NAN) },
+            SourceWaveform::Step {
+                amplitude: Voltage::from_volts(f64::INFINITY),
+                delay: Time::ZERO,
+            },
+            SourceWaveform::Step {
+                amplitude: Voltage::from_volts(1.0),
+                delay: Time::from_seconds(f64::NAN),
+            },
+            SourceWaveform::Ramp {
+                amplitude: Voltage::from_volts(1.0),
+                delay: Time::ZERO,
+                rise_time: Time::from_seconds(-1.0),
+            },
+            SourceWaveform::Pulse {
+                amplitude: Voltage::from_volts(1.0),
+                delay: Time::ZERO,
+                edge_time: Time::from_seconds(f64::NEG_INFINITY),
+                width: Time::ZERO,
+            },
+            SourceWaveform::PieceWiseLinear {
+                points: vec![
+                    (Time::ZERO, Voltage::from_volts(1.0)),
+                    (Time::from_seconds(1.0), Voltage::from_volts(f64::NAN)),
+                ],
+            },
+            SourceWaveform::PieceWiseLinear {
+                points: vec![
+                    (Time::from_seconds(2.0), Voltage::ZERO),
+                    (Time::from_seconds(1.0), Voltage::ZERO),
+                ],
+            },
+        ];
+        for w in bad_levels {
+            assert!(
+                matches!(
+                    c.add_voltage_source(a, gnd, w.clone()),
+                    Err(CircuitError::InvalidValue { .. })
+                ),
+                "voltage source with {w:?} should be rejected"
+            );
+            assert!(
+                matches!(
+                    c.add_current_source(a, gnd, w.clone()),
+                    Err(CircuitError::InvalidValue { .. })
+                ),
+                "current source with {w:?} should be rejected"
+            );
+        }
+        // A rejected source must not consume an id or leave an element behind.
+        assert_eq!(c.source_count(), 0);
+        assert!(c.is_empty());
+        // Negative amplitudes and delayed PWL corners remain valid.
+        c.add_voltage_source(
+            a,
+            gnd,
+            SourceWaveform::Step { amplitude: Voltage::from_volts(-1.0), delay: Time::ZERO },
+        )
+        .unwrap();
     }
 
     #[test]

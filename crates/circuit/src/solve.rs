@@ -2,7 +2,7 @@
 //!
 //! [`FactoredMna`] couples a backend-erased factorisation
 //! ([`FactoredSolver`]) with the bandwidth-reducing permutation of the
-//! [`MnaSystem`](crate::mna::MnaSystem) it was assembled from, so analyses
+//! [`MnaSystem`] it was assembled from, so analyses
 //! can keep thinking in logical (node/branch) order: right-hand sides go in
 //! logical, solutions come out logical, and the permutation bookkeeping stays
 //! here.

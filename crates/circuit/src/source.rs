@@ -7,6 +7,8 @@
 
 use rlckit_units::{Time, Voltage};
 
+use crate::error::CircuitError;
+
 /// Time-dependent value of an independent source.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SourceWaveform {
@@ -124,6 +126,65 @@ impl SourceWaveform {
                     }
                 }
                 points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// Validates that every level is finite, every duration is finite and
+    /// non-negative, and piece-wise-linear corner times are finite and
+    /// non-decreasing.
+    ///
+    /// Called by [`Circuit::add_voltage_source`](crate::Circuit::add_voltage_source)
+    /// and [`Circuit::add_current_source`](crate::Circuit::add_current_source),
+    /// so analyses never see NaN or infinite right-hand sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidValue`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let finite = |v: f64, what: &'static str| -> Result<(), CircuitError> {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(CircuitError::InvalidValue { what, value: v })
+            }
+        };
+        let duration = |v: f64, what: &'static str| -> Result<(), CircuitError> {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(CircuitError::InvalidValue { what, value: v })
+            }
+        };
+        match self {
+            Self::Dc { level } => finite(level.volts(), "source DC level"),
+            Self::Step { amplitude, delay } => {
+                finite(amplitude.volts(), "source step amplitude")?;
+                finite(delay.seconds(), "source step delay")
+            }
+            Self::Ramp { amplitude, delay, rise_time } => {
+                finite(amplitude.volts(), "source ramp amplitude")?;
+                finite(delay.seconds(), "source ramp delay")?;
+                duration(rise_time.seconds(), "source ramp rise time")
+            }
+            Self::Pulse { amplitude, delay, edge_time, width } => {
+                finite(amplitude.volts(), "source pulse amplitude")?;
+                finite(delay.seconds(), "source pulse delay")?;
+                duration(edge_time.seconds(), "source pulse edge time")?;
+                duration(width.seconds(), "source pulse width")
+            }
+            Self::PieceWiseLinear { points } => {
+                for (t, v) in points {
+                    finite(t.seconds(), "source PWL corner time")?;
+                    finite(v.volts(), "source PWL corner value")?;
+                }
+                if let Some(w) = points.windows(2).find(|w| w[1].0.seconds() < w[0].0.seconds()) {
+                    return Err(CircuitError::InvalidValue {
+                        what: "source PWL corner times (must be non-decreasing)",
+                        value: w[1].0.seconds(),
+                    });
+                }
+                Ok(())
             }
         }
     }

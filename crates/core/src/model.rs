@@ -41,7 +41,7 @@ pub fn propagation_delay(load: &GateRlcLoad) -> Time {
 /// `0.37·Rt·Ct + 0.74·(Rtr·Ct + Rt·CL + Rtr·CL)`.
 ///
 /// For a bare line (no gate parasitics) this is the classical `0.37·R·C·l²`
-/// distributed-RC delay quoted in the paper (Sakurai, ref. [3]).
+/// distributed-RC delay quoted in the paper (Sakurai, ref. \[3\]).
 pub fn rc_limit_delay(load: &GateRlcLoad) -> Time {
     let rt = load.total_resistance().ohms();
     let ct = load.total_capacitance().farads();

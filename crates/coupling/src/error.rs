@@ -1,0 +1,111 @@
+//! Error type shared by the coupling subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+use rlckit_circuit::CircuitError;
+use rlckit_interconnect::InterconnectError;
+use rlckit_repeater::RepeaterError;
+
+/// Error returned by coupled-bus construction, simulation and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CouplingError {
+    /// A bus parameter is not usable (non-positive, NaN, out of range, ...).
+    InvalidParameter {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A per-unit-length matrix has the wrong shape or violates a structural
+    /// requirement (symmetry, zero diagonal, positive definiteness).
+    Shape {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+    },
+    /// A line index is out of range for this bus.
+    LineIndex {
+        /// The raw index supplied.
+        index: usize,
+        /// How many lines the bus has.
+        lines: usize,
+    },
+    /// An underlying circuit construction or analysis failed.
+    Circuit(CircuitError),
+    /// An underlying interconnect computation failed.
+    Interconnect(InterconnectError),
+    /// An underlying repeater-insertion computation failed.
+    Repeater(RepeaterError),
+    /// A requested measurement could not be computed.
+    Measurement {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CouplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { what, value } => write!(f, "invalid {what}: {value}"),
+            Self::Shape { what } => write!(f, "malformed bus matrices: {what}"),
+            Self::LineIndex { index, lines } => {
+                write!(f, "line {index} is out of range for a bus of {lines} lines")
+            }
+            Self::Circuit(e) => write!(f, "circuit error: {e}"),
+            Self::Interconnect(e) => write!(f, "interconnect error: {e}"),
+            Self::Repeater(e) => write!(f, "repeater error: {e}"),
+            Self::Measurement { reason } => write!(f, "measurement failed: {reason}"),
+        }
+    }
+}
+
+impl Error for CouplingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            Self::Interconnect(e) => Some(e),
+            Self::Repeater(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CouplingError {
+    fn from(e: CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<InterconnectError> for CouplingError {
+    fn from(e: InterconnectError) -> Self {
+        Self::Interconnect(e)
+    }
+}
+
+impl From<RepeaterError> for CouplingError {
+    fn from(e: RepeaterError) -> Self {
+        Self::Repeater(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CouplingError::InvalidParameter { what: "pitch", value: -1.0 }
+            .to_string()
+            .contains("pitch"));
+        assert!(CouplingError::Shape { what: "L must be symmetric" }
+            .to_string()
+            .contains("symmetric"));
+        assert!(CouplingError::LineIndex { index: 5, lines: 3 }.to_string().contains('5'));
+        let circuit: CouplingError = CircuitError::EmptyCircuit.into();
+        assert!(circuit.to_string().contains("circuit"));
+        assert!(Error::source(&circuit).is_some());
+        assert!(CouplingError::Measurement { reason: "no crossing".into() }
+            .to_string()
+            .contains("no crossing"));
+    }
+}

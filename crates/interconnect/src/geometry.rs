@@ -1,6 +1,6 @@
 //! Per-unit-length parasitic extraction from wire geometry.
 //!
-//! The paper takes per-unit-length `R`, `L`, `C` as given (from ref. [7]);
+//! The paper takes per-unit-length `R`, `L`, `C` as given (from ref. \[7\]);
 //! this module provides a simple quasi-TEM extractor so examples can start
 //! from physical wire dimensions instead of raw parasitics:
 //!

@@ -3,7 +3,7 @@
 //! This crate provides everything between "a wire on a chip" and "the five
 //! impedances the delay model needs":
 //!
-//! * [`line`] — uniform [`DistributedLine`]s described by per-unit-length
+//! * [`mod@line`] — uniform [`DistributedLine`]s described by per-unit-length
 //!   `R`, `L`, `C` and a length, with totals, time-of-flight and conversion to
 //!   simulatable ladder specifications;
 //! * [`geometry`] — quasi-TEM extraction of per-unit-length parasitics from
@@ -17,7 +17,7 @@
 //! * [`moments`] — closed-form low-order denominator coefficients (Elmore
 //!   delay and friends);
 //! * [`merit`] — figures of merit deciding when inductance must be modelled
-//!   (ref. [8] of the paper) and the `T_{L/R}` parameter of Eq. (13).
+//!   (ref. \[8\] of the paper) and the `T_{L/R}` parameter of Eq. (13).
 //!
 //! # Example
 //!

@@ -1,6 +1,6 @@
 //! Figures of merit deciding when on-chip inductance matters.
 //!
-//! Reference [8] of the paper (Ismail, Friedman & Neves, DAC 1998) gives the
+//! Reference \[8\] of the paper (Ismail, Friedman & Neves, DAC 1998) gives the
 //! now-standard criterion: transmission-line behaviour is significant when the
 //! line length satisfies
 //!

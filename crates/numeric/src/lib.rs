@@ -11,7 +11,7 @@
 //! * [`banded`] — band-storage matrices and bandwidth-aware LU
 //!   (`O(n·b²)` factorisation, `O(n·b)` solves);
 //! * [`ordering`] — reverse Cuthill–McKee bandwidth reduction;
-//! * [`solver`] — the [`SolverBackend`](solver::SolverBackend) policy that
+//! * [`solver`] — the [`SolverBackend`] policy that
 //!   dispatches between the dense and banded kernels;
 //! * [`roots`] — bracketing root finders (bisection, Brent);
 //! * [`optimize`] — golden-section search, Nelder–Mead simplex and grid

@@ -1,6 +1,6 @@
 //! Delay / area / energy trade-offs for repeater systems.
 //!
-//! The paper optimises for delay alone; its reference [10] (Adler & Friedman)
+//! The paper optimises for delay alone; its reference \[10\] (Adler & Friedman)
 //! studies how much area and power can be recovered by backing off slightly
 //! from the delay-optimal point. This module provides that extension on top of
 //! the RLC-aware machinery: the Pareto front of repeated-line designs over the

@@ -204,7 +204,7 @@ impl CapacitancePerLength {
     }
 
     /// Creates a capacitance per length expressed in picofarads per centimetre,
-    /// the unit used in Deutsch et al. (ref. [7] of the paper).
+    /// the unit used in Deutsch et al. (ref. \[7\] of the paper).
     #[inline]
     pub fn from_picofarads_per_centimeter(value: f64) -> Self {
         // 1 pF/cm = 1e-12 F / 1e-2 m = 1e-10 F/m.

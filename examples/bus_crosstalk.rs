@@ -1,0 +1,74 @@
+//! Crosstalk on a 3-wire 0.18 µm global bus, with and without shields.
+//!
+//! Sweeps the bus length and prints, for the middle (victim) wire: the
+//! odd-mode and even-mode 50% delays against the isolated-line baseline, the
+//! odd/even delay spread, and the peak noise coupled onto a quiet victim —
+//! first on the bare bus, then with grounded shields interleaved between the
+//! signal wires. The qualitative crosstalk result: odd-mode switching is
+//! slower and even-mode faster than the isolated line, and shields buy the
+//! noise down at the cost of routing tracks.
+//!
+//! Run with `cargo run --release --example bus_crosstalk`.
+
+use rlckit::coupling::shield::evaluate_shielding;
+use rlckit::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::node_180nm();
+    let driver_size = 40.0;
+    let drive = BusDrive::new(
+        tech.buffer_resistance(driver_size)?,
+        tech.buffer_capacitance(driver_size)?,
+        tech.supply,
+    )
+    .with_sections(16);
+
+    println!(
+        "3-wire {} global bus, {}x driver (Rtr = {}, CL = {})\n",
+        tech.name, driver_size, drive.driver_resistance, drive.load_capacitance
+    );
+    println!(
+        "{:>8} {:>9} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "length", "shields", "isolated", "odd mode", "even mode", "spread", "noise"
+    );
+
+    for mm in [2.0, 4.0, 6.0, 8.0, 10.0] {
+        let spec = UniformBusSpec {
+            lines: 3,
+            resistance: tech.global_wire.resistance,
+            self_inductance: tech.global_wire.inductance,
+            ground_capacitance: tech.global_wire.capacitance,
+            // A dense global bus: neighbour coupling about half the ground
+            // capacitance, inductive coupling falling off with separation.
+            coupling_capacitance: CapacitancePerLength::from_femtofarads_per_micrometer(0.1),
+            inductive_coupling: vec![0.35, 0.15],
+            length: Length::from_millimeters(mm),
+        };
+        let eval = evaluate_shielding(&spec, 1, &drive)?;
+        for (label, m) in [("no", &eval.unshielded), ("yes", &eval.shielded)] {
+            println!(
+                "{:>6.1}mm {:>9} {:>10} {:>10} {:>10} {:>7.1}% {:>8.0}mV",
+                mm,
+                label,
+                m.isolated_delay.to_string(),
+                m.odd_mode_delay.to_string(),
+                m.even_mode_delay.to_string(),
+                100.0 * m.delay_spread_fraction(),
+                1e3 * m.victim_peak_noise.volts(),
+            );
+        }
+        println!(
+            "{:>17} noise ÷{:.1}, spread ÷{:.1}, track overhead +{:.0}%",
+            "→ shields:",
+            eval.noise_reduction(),
+            eval.delay_spread_reduction(),
+            100.0 * eval.track_overhead
+        );
+    }
+
+    println!(
+        "\nodd mode (neighbours switch against the victim) is the slow corner; \
+         even mode (bus switches together) beats the isolated line."
+    );
+    Ok(())
+}

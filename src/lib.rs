@@ -16,6 +16,7 @@
 //! | [`interconnect`] | `rlckit-interconnect` | distributed lines, geometry, technology, exact two-port |
 //! | [`model`] | `rlckit-core` | the Eq. (9) delay model, ζ, RC baselines |
 //! | [`repeater`] | `rlckit-repeater` | Bakoglu RC and Ismail–Friedman RLC repeater insertion |
+//! | [`coupling`] | `rlckit-coupling` | coupled buses: crosstalk scenarios, shields, bus-aware repeaters |
 //!
 //! # Quick start
 //!
@@ -45,6 +46,7 @@
 
 pub use rlckit_circuit as circuit;
 pub use rlckit_core as model;
+pub use rlckit_coupling as coupling;
 pub use rlckit_interconnect as interconnect;
 pub use rlckit_numeric as numeric;
 pub use rlckit_repeater as repeater;
@@ -55,6 +57,10 @@ pub mod prelude {
     pub use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
     pub use rlckit_core::load::GateRlcLoad;
     pub use rlckit_core::model::{propagation_delay, scaled_delay};
+    pub use rlckit_coupling::bus::UniformBusSpec;
+    pub use rlckit_coupling::crosstalk::crosstalk_metrics;
+    pub use rlckit_coupling::netlist::BusDrive;
+    pub use rlckit_coupling::scenario::{LineDrive, SwitchingPattern};
     pub use rlckit_interconnect::merit::{assess_inductance, t_l_over_r};
     pub use rlckit_interconnect::technology::Technology;
     pub use rlckit_interconnect::twoport::DrivenLine;
