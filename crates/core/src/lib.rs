@@ -30,6 +30,12 @@
 //! * [`accuracy`] — error bookkeeping when comparing the model against a
 //!   dynamic simulation.
 //!
+//! Everything downstream of the closed forms — repeater insertion, the
+//! coupled-bus baselines and the sweep engine's delay evaluators — funnels
+//! through [`load::GateRlcLoad`] and [`model::propagation_delay`], so this
+//! crate's public surface is deliberately small and fully documented
+//! (`#![warn(missing_docs)]`, an error in CI).
+//!
 //! # Example
 //!
 //! ```

@@ -25,16 +25,45 @@ pub struct ShieldingEvaluation {
 
 impl ShieldingEvaluation {
     /// Factor by which shielding reduced the peak victim noise (> 1 is a win).
+    ///
+    /// If shields suppress the noise below measurement entirely, the ratio
+    /// saturates at `f64::INFINITY` rather than producing `NaN` (and `1.0`
+    /// when both buses are already noiseless).
     pub fn noise_reduction(&self) -> f64 {
-        self.unshielded.victim_peak_noise.volts() / self.shielded.victim_peak_noise.volts()
+        saturating_ratio(
+            self.unshielded.victim_peak_noise.volts(),
+            self.shielded.victim_peak_noise.volts(),
+        )
     }
 
     /// Factor by which shielding tightened the magnitude of the odd/even
     /// delay spread. (Behind shields the capacitive spread collapses and the
     /// residual inductive coupling can make even mode the slower one, so the
     /// *signed* spreads are not comparable — the magnitudes are.)
+    ///
+    /// The shielded spread passes through zero in some parameter regimes; the
+    /// ratio then saturates at `f64::INFINITY` rather than producing `NaN`
+    /// (and `1.0` when both spreads are zero).
     pub fn delay_spread_reduction(&self) -> f64 {
-        self.unshielded.delay_spread_fraction().abs() / self.shielded.delay_spread_fraction().abs()
+        saturating_ratio(
+            self.unshielded.delay_spread_fraction().abs(),
+            self.shielded.delay_spread_fraction().abs(),
+        )
+    }
+}
+
+/// `before / after` with the zero-denominator corner pinned: `1.0` when both
+/// are zero (shielding changed nothing) and `f64::INFINITY` when shielding
+/// suppressed the quantity completely — never `NaN`.
+fn saturating_ratio(before: f64, after: f64) -> f64 {
+    if after == 0.0 {
+        if before == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        before / after
     }
 }
 
@@ -104,5 +133,12 @@ mod tests {
         assert!(eval.delay_spread_reduction() > 1.0);
         // 3 signals pick up 2 shields.
         assert!((eval.track_overhead - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_ratios_never_produce_nan() {
+        assert_eq!(saturating_ratio(0.0, 0.0), 1.0);
+        assert_eq!(saturating_ratio(0.3, 0.0), f64::INFINITY);
+        assert!((saturating_ratio(0.3, 0.1) - 3.0).abs() < 1e-12);
     }
 }

@@ -15,6 +15,7 @@
 //! [`criterion`]: https://crates.io/crates/criterion
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -24,6 +24,13 @@
 //! * [`poly`] — small polynomial helpers (evaluation, quadratic roots);
 //! * [`stats`] — error metrics used when comparing model against simulation.
 //!
+//! Nothing here knows about circuits or units: this crate sits directly
+//! above `std` so the kernels stay reusable and independently testable. The
+//! banded LU + RCM pair is the workhorse of every transient sweep in the
+//! workspace (see `DESIGN.md` for the complexity accounting), and the
+//! `#![warn(missing_docs)]` gate (an error in CI) keeps the public surface
+//! documented.
+//!
 //! # Example
 //!
 //! ```

@@ -19,6 +19,7 @@
 //! [`proptest`]: https://crates.io/crates/proptest
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::Range;
 

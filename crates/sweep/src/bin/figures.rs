@@ -1,0 +1,98 @@
+//! The figure pipeline: regenerates (or drift-checks) the committed
+//! `figures/FIG_*.csv` paper datasets.
+//!
+//! ```sh
+//! cargo run --release -p rlckit-sweep --bin figures            # rewrite figures/
+//! cargo run --release -p rlckit-sweep --bin figures -- --check # fail on drift (CI)
+//! ```
+//!
+//! Options: `--check` compares instead of writing; `--out DIR` overrides the
+//! output directory (default: the workspace `figures/`); `--threads N` sets
+//! the sweep worker count. The grids are smoke-sized on purpose — the whole
+//! pipeline is a few seconds in release mode — so CI can afford to re-run it
+//! on every push and fail if any committed artifact drifts from the code.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rlckit_sweep::exec::SweepOptions;
+use rlckit_sweep::figures::{check_all, write_all, FIGURES};
+
+struct Args {
+    check: bool,
+    out: PathBuf,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../figures");
+    let mut args = Args { check: false, out: default_out, threads: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check = true,
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a directory argument")?);
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count argument")?;
+                args.threads = Some(n.parse().map_err(|_| format!("invalid thread count '{n}'"))?);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("figures: {e}");
+            eprintln!("usage: figures [--check] [--out DIR] [--threads N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = match args.threads {
+        Some(n) => SweepOptions::with_threads(n),
+        None => SweepOptions::default(),
+    };
+
+    if args.check {
+        match check_all(&options, &args.out) {
+            Ok(drifted) if drifted.is_empty() => {
+                println!("figures: all {} committed datasets match", FIGURES.len());
+                ExitCode::SUCCESS
+            }
+            Ok(drifted) => {
+                for file in &drifted {
+                    eprintln!("figures: DRIFT in {}", args.out.join(file).display());
+                }
+                eprintln!(
+                    "figures: {} of {} datasets drifted — regenerate with \
+                     `cargo run --release -p rlckit-sweep --bin figures` and commit",
+                    drifted.len(),
+                    FIGURES.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("figures: check failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match write_all(&options, &args.out) {
+            Ok(paths) => {
+                for (figure, path) in FIGURES.iter().zip(paths.iter()) {
+                    println!("wrote {} — {}", path.display(), figure.description);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("figures: generation failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

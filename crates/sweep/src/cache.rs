@@ -1,0 +1,204 @@
+//! Content-hash result cache: re-runs only compute changed cells.
+//!
+//! Every computed row is memoised under a 64-bit FNV-1a key covering the
+//! evaluator name, its column list and every field of the resolved
+//! [`Scenario`]. The cache persists to a plain
+//! text file whose values are stored as hexadecimal `f64` bit patterns, so a
+//! round-trip through disk is **bit-exact** — a cache hit replays the very
+//! bytes the original run produced.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::error::SweepError;
+use crate::eval::Evaluator;
+use crate::scenario::{Fnv64, Scenario};
+
+/// Magic first line of the on-disk cache format.
+const HEADER: &str = "rlckit-sweep-cache v1";
+
+/// Computes the cache key of one (evaluator, scenario) pair.
+pub fn cache_key(evaluator: &dyn Evaluator, scenario: &Scenario) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(evaluator.name());
+    for c in evaluator.columns() {
+        h.write_str(c);
+    }
+    scenario.hash_into(&mut h);
+    h.finish()
+}
+
+/// A memo of computed metric rows, optionally persisted to disk.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCache {
+    path: Option<PathBuf>,
+    entries: HashMap<u64, Vec<f64>>,
+}
+
+impl SweepCache {
+    /// An empty cache that lives only in memory.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Loads a cache from `path`; a missing file yields an empty cache bound
+    /// to that path (so [`SweepCache::save`] creates it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] on read failures other than "not found" and
+    /// [`SweepError::CacheFormat`] if the file exists but cannot be parsed.
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, SweepError> {
+        let path = path.into();
+        let body = match std::fs::read_to_string(&path) {
+            Ok(body) => body,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Self { path: Some(path), entries: HashMap::new() });
+            }
+            Err(e) => return Err(SweepError::Io(e)),
+        };
+        let mut lines = body.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(SweepError::CacheFormat {
+                reason: format!("{} does not start with '{HEADER}'", path.display()),
+            });
+        }
+        let mut entries = HashMap::new();
+        for (n, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split(' ');
+            let key =
+                fields.next().and_then(|k| u64::from_str_radix(k, 16).ok()).ok_or_else(|| {
+                    SweepError::CacheFormat {
+                        reason: format!("line {}: missing or invalid key", n + 2),
+                    }
+                })?;
+            let values = fields
+                .map(|v| u64::from_str_radix(v, 16).map(f64::from_bits))
+                .collect::<Result<Vec<f64>, _>>()
+                .map_err(|_| SweepError::CacheFormat {
+                    reason: format!("line {}: invalid value bits", n + 2),
+                })?;
+            entries.insert(key, values);
+        }
+        Ok(Self { path: Some(path), entries })
+    }
+
+    /// Writes the cache back to the path it was loaded from (no-op for an
+    /// in-memory cache). Entries are written in sorted key order so the file
+    /// itself is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] if the file cannot be written.
+    pub fn save(&self) -> Result<(), SweepError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut keys: Vec<&u64> = self.entries.keys().collect();
+        keys.sort();
+        let mut out = String::with_capacity(64 * self.entries.len());
+        out.push_str(HEADER);
+        out.push('\n');
+        for key in keys {
+            out.push_str(&format!("{key:016x}"));
+            for v in &self.entries[key] {
+                out.push_str(&format!(" {:016x}", v.to_bits()));
+            }
+            out.push('\n');
+        }
+        std::fs::write(path, out)?;
+        Ok(())
+    }
+
+    /// Looks up a previously computed row.
+    pub fn get(&self, key: u64) -> Option<&Vec<f64>> {
+        self.entries.get(&key)
+    }
+
+    /// Memoises a computed row.
+    pub fn insert(&mut self, key: u64, values: Vec<f64>) {
+        self.entries.insert(key, values);
+    }
+
+    /// Number of memoised rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The backing file, if this cache persists.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::DelayModelEvaluator;
+
+    #[test]
+    fn keys_separate_scenarios_and_evaluators() {
+        let a = Scenario::default();
+        let b = Scenario { line_length_mm: 11.0, ..Scenario::default() };
+        let k_a = cache_key(&DelayModelEvaluator, &a);
+        assert_eq!(k_a, cache_key(&DelayModelEvaluator, &a.clone()));
+        assert_ne!(k_a, cache_key(&DelayModelEvaluator, &b));
+        assert_ne!(k_a, cache_key(&crate::eval::RepeaterOptimumEvaluator, &a));
+    }
+
+    #[test]
+    fn disk_round_trip_is_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("rlckit-sweep-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.txt");
+        let mut cache = SweepCache::load(&path).unwrap();
+        assert!(cache.is_empty());
+        // Values with awkward bit patterns: subnormal, negative zero, π.
+        let row = vec![f64::MIN_POSITIVE / 2.0, -0.0, std::f64::consts::PI, 1.0e300];
+        cache.insert(42, row.clone());
+        cache.insert(7, vec![]);
+        cache.save().unwrap();
+
+        let back = SweepCache::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        let got = back.get(42).unwrap();
+        assert_eq!(got.len(), row.len());
+        for (a, b) in got.iter().zip(row.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "round-trip must preserve bits");
+        }
+        assert!(back.get(7).unwrap().is_empty());
+        assert!(back.get(1).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_files_are_rejected() {
+        let dir = std::env::temp_dir().join(format!("rlckit-sweep-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.txt");
+        std::fs::write(&path, "not a cache\n").unwrap();
+        assert!(matches!(SweepCache::load(&path), Err(SweepError::CacheFormat { .. })));
+        std::fs::write(&path, format!("{HEADER}\nzzzz 01\n")).unwrap();
+        assert!(SweepCache::load(&path).is_err());
+        std::fs::write(&path, format!("{HEADER}\n00000000000000ff nope\n")).unwrap();
+        assert!(SweepCache::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_cache_save_is_a_no_op() {
+        let mut cache = SweepCache::in_memory();
+        cache.insert(1, vec![1.0]);
+        assert!(cache.path().is_none());
+        cache.save().unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+}

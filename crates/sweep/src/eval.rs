@@ -1,0 +1,418 @@
+//! The [`Evaluator`] trait plus built-in evaluators wiring every subsystem of
+//! the workspace — delay models (`rlckit-core`), repeater insertion
+//! (`rlckit-repeater`) and coupled buses (`rlckit-coupling`) — into the sweep
+//! engine.
+//!
+//! An evaluator maps one resolved [`Scenario`] to a fixed row of named `f64`
+//! metrics. Evaluators must be pure functions of the scenario ([`Sync`], no
+//! interior mutability): the executor calls them from worker threads and the
+//! cache assumes a scenario always produces the same row.
+
+use rlckit_core::load::GateRlcLoad;
+use rlckit_core::model::propagation_delay;
+use rlckit_core::rc_models;
+use rlckit_coupling::bus::{CoupledBus, UniformBusSpec};
+use rlckit_coupling::crosstalk::crosstalk_metrics;
+use rlckit_coupling::netlist::BusDrive;
+use rlckit_coupling::repeater::evaluate_bus_repeaters;
+use rlckit_interconnect::{DistributedLine, Technology};
+use rlckit_repeater::comparison;
+use rlckit_repeater::RepeaterProblem;
+use rlckit_units::{CapacitancePerLength, InductancePerLength, Length, ResistancePerLength};
+
+use crate::error::SweepError;
+use crate::scenario::Scenario;
+
+/// Maps one scenario to a fixed-width row of named metrics.
+///
+/// Implementations must be deterministic: the executor memoises rows by a
+/// content hash of the scenario and replays them on later runs.
+pub trait Evaluator: Sync {
+    /// Stable evaluator name (part of the cache key).
+    fn name(&self) -> &'static str;
+
+    /// Metric column names, in the order [`Evaluator::evaluate`] returns them.
+    fn columns(&self) -> &'static [&'static str];
+
+    /// Computes the metric row for one scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Evaluation`] when the scenario cannot be built or
+    /// measured (invalid parameters, no 50% crossing, …).
+    fn evaluate(&self, scenario: &Scenario) -> Result<Vec<f64>, SweepError>;
+}
+
+/// Builds the scenario's distributed line: the technology's wide global wire
+/// with any per-unit-length overrides applied.
+pub fn scenario_line(s: &Scenario) -> Result<DistributedLine, SweepError> {
+    let tech = s.technology.technology();
+    let base = tech.global_wire;
+    let r = s
+        .resistance_ohm_per_mm
+        .map(ResistancePerLength::from_ohms_per_millimeter)
+        .unwrap_or(base.resistance);
+    let l = s
+        .inductance_nh_per_mm
+        .map(InductancePerLength::from_nanohenries_per_millimeter)
+        .unwrap_or(base.inductance);
+    let c = s
+        .capacitance_ff_per_um
+        .map(CapacitancePerLength::from_femtofarads_per_micrometer)
+        .unwrap_or(base.capacitance);
+    Ok(DistributedLine::new(r, l, c, Length::from_millimeters(s.line_length_mm))?)
+}
+
+/// Builds the scenario's coupled bus from the same wire parameters plus the
+/// bus-layout fields (`bus_lines`, coupling values, shielding).
+pub fn scenario_bus(s: &Scenario) -> Result<CoupledBus, SweepError> {
+    let line = scenario_line(s)?;
+    // Inductive coupling falls off ~0.43× per pitch of separation (the repo's
+    // bus idiom: 0.35 → 0.15 in the examples). Shield interleaving doubles the
+    // conductor count, and shields do NOT remove mutual inductance — signal
+    // pairs then sit at separations 2, 4, … — so the falloff vector must cover
+    // every separation of the *built* conductor set, not just the signal count.
+    let conductors = if s.shielded { 2 * s.bus_lines.max(1) - 1 } else { s.bus_lines };
+    let inductive_coupling: Vec<f64> =
+        (1..conductors.max(2)).map(|d| s.inductive_coupling * 0.43f64.powi(d as i32 - 1)).collect();
+    let spec = UniformBusSpec {
+        lines: s.bus_lines,
+        resistance: line.resistance_per_length(),
+        self_inductance: line.inductance_per_length(),
+        ground_capacitance: line.capacitance_per_length(),
+        coupling_capacitance: CapacitancePerLength::from_femtofarads_per_micrometer(
+            s.coupling_cap_ff_per_um,
+        ),
+        inductive_coupling,
+        length: Length::from_millimeters(s.line_length_mm),
+    };
+    Ok(if s.shielded { spec.build_shielded()? } else { spec.build()? })
+}
+
+fn scenario_drive(s: &Scenario) -> Result<(Technology, BusDrive), SweepError> {
+    let tech = s.technology.technology();
+    let drive = BusDrive::new(
+        tech.buffer_resistance(s.driver_size)?,
+        tech.buffer_capacitance(s.driver_size)?,
+        tech.supply,
+    )
+    .with_sections(s.ladder_sections);
+    Ok((tech, drive))
+}
+
+/// Closed-form delay models (`rlckit-core`): the paper's Eq. (9) against the
+/// RC baselines it improves on, for the scenario line driven by a size-`h`
+/// buffer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DelayModelEvaluator;
+
+impl Evaluator for DelayModelEvaluator {
+    fn name(&self) -> &'static str {
+        "delay_model"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "rlc_delay_ps",
+            "elmore_delay_ps",
+            "sakurai_delay_ps",
+            "lumped_rc_delay_ps",
+            "elmore_error_pct",
+            "sakurai_error_pct",
+            "lumped_rc_error_pct",
+            "zeta",
+        ]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let tech = s.technology.technology();
+        let line = scenario_line(s)?;
+        let load = GateRlcLoad::from_line(
+            &line,
+            tech.buffer_resistance(s.driver_size)?,
+            tech.buffer_capacitance(s.driver_size)?,
+        )?;
+        let rlc = propagation_delay(&load).picoseconds();
+        let elmore = rc_models::elmore_delay(&load).picoseconds();
+        let sakurai = rc_models::sakurai_delay(&load).picoseconds();
+        let lumped = rc_models::lumped_rc_delay(&load).picoseconds();
+        let err = |rc: f64| 100.0 * (rc - rlc) / rlc;
+        Ok(vec![rlc, elmore, sakurai, lumped, err(elmore), err(sakurai), err(lumped), load.zeta()])
+    }
+}
+
+/// Repeater insertion (`rlckit-repeater`): the Bakoglu RC and Ismail–Friedman
+/// RLC optima for the scenario line, plus the delay/area/energy penalties of
+/// designing RC-only (Eqs. 14–18).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepeaterOptimumEvaluator;
+
+impl Evaluator for RepeaterOptimumEvaluator {
+    fn name(&self) -> &'static str {
+        "repeater_optimum"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "t_l_over_r",
+            "h_rc",
+            "k_rc",
+            "h_rlc",
+            "k_rlc",
+            "rc_delay_ps",
+            "rlc_delay_ps",
+            "delay_penalty_pct",
+            "area_penalty_pct",
+            "energy_penalty_pct",
+        ]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let tech = s.technology.technology();
+        let line = scenario_line(s)?;
+        let problem = RepeaterProblem::for_line(&line, &tech)?;
+        let cmp = comparison::compare(&problem)?;
+        Ok(vec![
+            cmp.t_l_over_r,
+            cmp.rc_design.size,
+            cmp.rc_design.sections,
+            cmp.rlc_design.size,
+            cmp.rlc_design.sections,
+            cmp.rc_design.total_delay.picoseconds(),
+            cmp.rlc_design.total_delay.picoseconds(),
+            cmp.delay_increase_percent,
+            cmp.area_increase_percent,
+            cmp.energy_increase_percent,
+        ])
+    }
+}
+
+/// An explicit repeater design point (`rlckit-repeater`): evaluates
+/// `tpdtotal(h, k)` at the scenario's `driver_size` and `sections` — the
+/// knobs an `(h, k)` sweep axis drives directly — plus the area/energy of
+/// that design and its delay overhead against the closed-form RLC optimum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepeaterDesignPointEvaluator;
+
+impl Evaluator for RepeaterDesignPointEvaluator {
+    fn name(&self) -> &'static str {
+        "repeater_design_point"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &["total_delay_ps", "area_um2", "energy_fj", "delay_vs_optimum_pct"]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let tech = s.technology.technology();
+        let line = scenario_line(s)?;
+        let problem = RepeaterProblem::for_line(&line, &tech)?;
+        let design = problem.design(s.driver_size, s.sections)?;
+        let optimum = problem.rlc_optimum();
+        let delay = design.total_delay.picoseconds();
+        let opt = optimum.total_delay.picoseconds();
+        Ok(vec![
+            delay,
+            problem.repeater_area(&design).square_micrometers(),
+            problem.switching_energy(&design).joules() * 1e15,
+            100.0 * (delay - opt) / opt,
+        ])
+    }
+}
+
+/// Coupled-bus crosstalk (`rlckit-coupling`): transient simulation of the
+/// victim-quiet, odd-mode and even-mode patterns plus the isolated-line
+/// baseline, on the scenario bus. The victim is the middle signal wire.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BusCrosstalkEvaluator;
+
+impl Evaluator for BusCrosstalkEvaluator {
+    fn name(&self) -> &'static str {
+        "bus_crosstalk"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "isolated_delay_ps",
+            "even_delay_ps",
+            "odd_delay_ps",
+            "pushout_ps",
+            "pullin_ps",
+            "pushout_pct",
+            "noise_frac",
+        ]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let bus = scenario_bus(s)?;
+        let (tech, drive) = scenario_drive(s)?;
+        let victim = bus.signal_count() / 2;
+        let m = crosstalk_metrics(&bus, victim, &drive)?;
+        Ok(vec![
+            m.isolated_delay.picoseconds(),
+            m.even_mode_delay.picoseconds(),
+            m.odd_mode_delay.picoseconds(),
+            m.pushout().picoseconds(),
+            m.pullin().picoseconds(),
+            100.0 * m.pushout().seconds() / m.isolated_delay.seconds(),
+            m.noise_fraction(tech.supply),
+        ])
+    }
+}
+
+/// Bus-aware repeater evaluation (`rlckit-coupling`): how far worst-case
+/// (odd-mode) switching pushes the paper's closed-form repeater optimum for
+/// the victim wire, and where the simulated worst-case optimum moves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BusRepeaterEvaluator;
+
+impl Evaluator for BusRepeaterEvaluator {
+    fn name(&self) -> &'static str {
+        "bus_repeater"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "k_isolated",
+            "k_bus",
+            "section_shift",
+            "even_total_ps",
+            "worst_total_ps",
+            "bus_worst_total_ps",
+            "pushout_frac",
+        ]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let bus = scenario_bus(s)?;
+        let tech = s.technology.technology();
+        let victim = bus.signal_count() / 2;
+        let shift = evaluate_bus_repeaters(&bus, victim, &tech, s.ladder_sections)?;
+        Ok(vec![
+            shift.isolated_optimum.rounded_sections() as f64,
+            shift.bus_sections as f64,
+            shift.section_shift() as f64,
+            shift.even_mode_delay.picoseconds(),
+            shift.worst_case_delay.picoseconds(),
+            shift.bus_worst_case_delay.picoseconds(),
+            shift.pushout_fraction(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TechnologyNode;
+
+    #[test]
+    fn delay_model_rows_match_their_columns() {
+        let eval = DelayModelEvaluator;
+        let row = eval.evaluate(&Scenario::default()).unwrap();
+        assert_eq!(row.len(), eval.columns().len());
+        let rlc = row[0];
+        let elmore = row[1];
+        assert!(rlc > 0.0 && elmore > rlc, "Elmore must be pessimistic on the default wire");
+        assert!(row[4] > 0.0, "Elmore error percentage must be positive");
+    }
+
+    #[test]
+    fn repeater_optimum_shows_the_paper_shift() {
+        let eval = RepeaterOptimumEvaluator;
+        let s = Scenario { line_length_mm: 50.0, ..Scenario::default() };
+        let row = eval.evaluate(&s).unwrap();
+        assert_eq!(row.len(), eval.columns().len());
+        let (k_rc, k_rlc) = (row[2], row[4]);
+        assert!(k_rlc < k_rc, "inductance must reduce the optimal repeater count");
+        assert!(row[7] > 0.0 && row[8] > 0.0, "penalties must be positive");
+    }
+
+    #[test]
+    fn line_overrides_replace_the_technology_wire() {
+        let s = Scenario {
+            resistance_ohm_per_mm: Some(3.0),
+            inductance_nh_per_mm: Some(0.7),
+            capacitance_ff_per_um: Some(0.3),
+            line_length_mm: 10.0,
+            ..Scenario::default()
+        };
+        let line = scenario_line(&s).unwrap();
+        assert!((line.total_resistance().ohms() - 30.0).abs() < 1e-9);
+        assert!((line.total_inductance().nanohenries() - 7.0).abs() < 1e-9);
+        assert!((line.total_capacitance().picofarads() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_bus_respects_layout_fields() {
+        let s = Scenario { bus_lines: 2, line_length_mm: 1.0, ..Scenario::default() };
+        let bus = scenario_bus(&s).unwrap();
+        assert_eq!(bus.signal_count(), 2);
+        assert_eq!(bus.conductors(), 2);
+        let shielded = scenario_bus(&Scenario { shielded: true, ..s }).unwrap();
+        assert_eq!(shielded.signal_count(), 2);
+        assert_eq!(shielded.conductors(), 3, "a shield is interleaved");
+    }
+
+    #[test]
+    fn inductive_coupling_survives_shield_interleaving() {
+        // Shields remove capacitive neighbours, not mutual inductance: the
+        // signal pair of a shielded 2-line bus sits at separation 2 and must
+        // keep the documented k1·0.43^(d−1) falloff.
+        let s = Scenario {
+            bus_lines: 2,
+            line_length_mm: 1.0,
+            inductive_coupling: 0.35,
+            shielded: true,
+            ..Scenario::default()
+        };
+        let bus = scenario_bus(&s).unwrap();
+        let k = bus.coupling_coefficient(0, 2);
+        assert!((k - 0.35 * 0.43).abs() < 1e-12, "signal-signal k = {k}");
+        // Unshielded 4-line bus: separation 3 keeps a geometric tail too.
+        let s = Scenario { bus_lines: 4, line_length_mm: 1.0, ..Scenario::default() };
+        let bus = scenario_bus(&s).unwrap();
+        let k = bus.coupling_coefficient(0, 3);
+        assert!((k - 0.35 * 0.43 * 0.43).abs() < 1e-12, "separation-3 k = {k}");
+    }
+
+    #[test]
+    fn repeater_design_point_consumes_the_sections_axis() {
+        let eval = RepeaterDesignPointEvaluator;
+        let base = Scenario { line_length_mm: 50.0, driver_size: 50.0, ..Scenario::default() };
+        let one = eval.evaluate(&Scenario { sections: 1.0, ..base.clone() }).unwrap();
+        let four = eval.evaluate(&Scenario { sections: 4.0, ..base }).unwrap();
+        assert_eq!(one.len(), eval.columns().len());
+        assert_ne!(one[0], four[0], "the sections axis must change the design point");
+        assert!(four[1] > one[1], "more repeaters must cost more area");
+        assert!(four[2] > one[2], "more repeaters must switch more energy");
+        assert!(one[3] >= 0.0 && four[3] >= 0.0, "no design beats the optimum");
+    }
+
+    #[test]
+    fn bus_crosstalk_orders_the_three_delays() {
+        // Tiny bus so the debug-profile transient stays quick.
+        let s = Scenario {
+            technology: TechnologyNode::N180,
+            bus_lines: 2,
+            line_length_mm: 2.0,
+            driver_size: 40.0,
+            ladder_sections: 4,
+            ..Scenario::default()
+        };
+        let eval = BusCrosstalkEvaluator;
+        let row = eval.evaluate(&s).unwrap();
+        assert_eq!(row.len(), eval.columns().len());
+        let (isolated, even, odd) = (row[0], row[1], row[2]);
+        assert!(odd > isolated && isolated > even, "odd {odd} / iso {isolated} / even {even}");
+        assert!(row[5] > 0.0, "push-out percentage must be positive");
+        assert!(row[6] > 0.0 && row[6] < 1.0, "noise fraction in (0, 1)");
+    }
+
+    #[test]
+    fn invalid_scenarios_surface_as_evaluation_errors() {
+        let s = Scenario { line_length_mm: -1.0, ..Scenario::default() };
+        assert!(matches!(DelayModelEvaluator.evaluate(&s), Err(SweepError::Evaluation { .. })));
+        let s = Scenario { driver_size: 0.0, ..Scenario::default() };
+        assert!(DelayModelEvaluator.evaluate(&s).is_err());
+    }
+}

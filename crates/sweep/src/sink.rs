@@ -1,0 +1,214 @@
+//! Structured emitters for sweep results: CSV and flat JSON.
+//!
+//! Both sinks render a [`SweepResult`] deterministically — same result, same
+//! bytes — which is what lets the committed figure artifacts double as drift
+//! detectors in CI. Floats are rendered with Rust's shortest round-trip
+//! `Display`, so re-parsing a CSV recovers the exact values.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::error::SweepError;
+use crate::exec::SweepResult;
+
+/// Renders sweep results as CSV: one axis column per axis, then one metric
+/// column per evaluator column. Cells of failed rows are left empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvSink;
+
+impl CsvSink {
+    /// Renders the result as a CSV document (with header row).
+    pub fn render(&self, result: &SweepResult) -> String {
+        let mut out = String::new();
+        let mut header: Vec<&str> = result.axis_names.iter().map(String::as_str).collect();
+        header.extend(result.columns.iter().map(String::as_str));
+        let _ = writeln!(out, "{}", header.join(","));
+        for row in &result.rows {
+            let mut cells: Vec<String> = row.labels.iter().map(|l| csv_field(l)).collect();
+            match &row.values {
+                Ok(values) => cells.extend(values.iter().map(|v| format!("{v}"))),
+                Err(_) => cells.extend(std::iter::repeat_n(String::new(), result.columns.len())),
+            }
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Renders and writes the result to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] if the file cannot be written.
+    pub fn write(&self, result: &SweepResult, path: &Path) -> Result<(), SweepError> {
+        std::fs::write(path, self.render(result))?;
+        Ok(())
+    }
+}
+
+/// Renders sweep results as a flat JSON document mirroring the CSV layout,
+/// with per-row error messages preserved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonSink;
+
+impl JsonSink {
+    /// Renders the result as a JSON document.
+    pub fn render(&self, result: &SweepResult) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"evaluator\": \"{}\",", escape_json(&result.evaluator));
+        let _ = writeln!(out, "  \"axes\": [{}],", quoted_list(&result.axis_names));
+        let _ = writeln!(out, "  \"columns\": [{}],", quoted_list(&result.columns));
+        let _ = writeln!(
+            out,
+            "  \"cache_hits\": {}, \"computed\": {},",
+            result.cache_hits, result.computed
+        );
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, row) in result.rows.iter().enumerate() {
+            let comma = if i + 1 < result.rows.len() { "," } else { "" };
+            let labels = quoted_list(&row.labels);
+            match &row.values {
+                Ok(values) => {
+                    let values: Vec<String> = values.iter().map(|v| json_number(*v)).collect();
+                    let _ = writeln!(
+                        out,
+                        "    {{\"labels\": [{labels}], \"values\": [{}]}}{comma}",
+                        values.join(", ")
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        out,
+                        "    {{\"labels\": [{labels}], \"error\": \"{}\"}}{comma}",
+                        escape_json(e)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+
+    /// Renders and writes the result to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] if the file cannot be written.
+    pub fn write(&self, result: &SweepResult, path: &Path) -> Result<(), SweepError> {
+        std::fs::write(path, self.render(result))?;
+        Ok(())
+    }
+}
+
+/// Quotes a CSV field only when it contains a separator, quote or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn quoted_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape_json(s))).collect();
+    quoted.join(", ")
+}
+
+/// Escapes backslash, quote and control characters for JSON string literals.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a number so the output is always valid JSON (no NaN/inf literals).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::DelayModelEvaluator;
+    use crate::exec::{run_sweep, SweepOptions};
+    use crate::scenario::{Param, Scenario};
+    use crate::spec::{Axis, SweepSpec};
+
+    fn sample() -> SweepResult {
+        let spec = SweepSpec::new(Scenario::default())
+            .axis(Axis::new("length_mm", [5.0, 10.0].map(Param::LineLengthMm)))
+            .axis(Axis::new("h", [100.0, -1.0].map(Param::DriverSize)));
+        run_sweep(&spec, &DelayModelEvaluator, &SweepOptions::with_threads(1)).unwrap()
+    }
+
+    #[test]
+    fn csv_has_axis_and_metric_columns_and_blank_error_cells() {
+        let result = sample();
+        let csv = CsvSink.render(&result);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("length_mm,h,rlc_delay_ps,"));
+        assert_eq!(csv.lines().count(), 5, "header + 4 rows");
+        // The h = -1 rows fail; their metric cells are empty.
+        let bad_row = csv.lines().nth(2).unwrap();
+        assert!(bad_row.starts_with("5,-1,"));
+        assert!(bad_row.ends_with(",,,,,,,"), "bad row {bad_row:?} must have empty metrics");
+    }
+
+    #[test]
+    fn csv_rendering_is_deterministic() {
+        let result = sample();
+        assert_eq!(CsvSink.render(&result), CsvSink.render(&result));
+    }
+
+    #[test]
+    fn csv_fields_are_quoted_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn json_mirrors_the_rows_and_keeps_errors() {
+        let result = sample();
+        let json = JsonSink.render(&result);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"evaluator\": \"delay_model\""));
+        assert!(json.contains("\"axes\": [\"length_mm\", \"h\"]"));
+        assert!(json.contains("\"error\": \""));
+        assert!(json.contains("\"values\": ["));
+        assert_eq!(escape_json("a\"\n\u{1}"), "a\\\"\\n\\u0001");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn sinks_write_files() {
+        let dir = std::env::temp_dir().join(format!("rlckit-sweep-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let result = sample();
+        let csv_path = dir.join("out.csv");
+        let json_path = dir.join("out.json");
+        CsvSink.write(&result, &csv_path).unwrap();
+        JsonSink.write(&result, &json_path).unwrap();
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), CsvSink.render(&result));
+        assert_eq!(std::fs::read_to_string(&json_path).unwrap(), JsonSink.render(&result));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,6 +17,12 @@
 //!   analysis (`R·C → Time`, `L/R → Time`, `L·C → TimeSquared`);
 //! * engineering-notation formatting and parsing (`"1 pF"`, `"500 Ω"`).
 //!
+//! This is the bottom crate of the workspace: everything else — the numeric
+//! kernels, the MNA simulator, the delay/repeater closed forms, the coupled
+//! buses and the sweep engine — speaks in these types, and the
+//! `#![warn(missing_docs)]` gate (enforced as an error in CI) keeps every
+//! public quantity documented.
+//!
 //! # Example
 //!
 //! ```

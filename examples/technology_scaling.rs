@@ -1,36 +1,48 @@
-//! How the importance of inductance grows as technologies scale.
+//! How the importance of inductance grows as technologies scale — now run
+//! through the sweep engine.
 //!
 //! The paper's closing argument: `T_{L/R} = sqrt((Lt/Rt)/(R0·C0))` grows as the
 //! intrinsic gate delay `R0·C0` shrinks, so each new technology generation pays
-//! a larger penalty for ignoring inductance. This example sweeps the built-in
-//! technology roadmap and reports, for the same physical wire, the delay and
-//! area penalties of an RC-only repeater methodology.
+//! a larger penalty for ignoring inductance. This example declares the
+//! technology roadmap as a sweep axis, evaluates every node in parallel with
+//! the repeater-optimum evaluator, and reports the delay/area/energy penalties
+//! of an RC-only repeater methodology for the same physical wire.
 //!
-//! Run with `cargo run --release --example technology_scaling`.
+//! Run with `cargo run --release --example technology_scaling [-- --csv]`.
 
 use rlckit::prelude::*;
-use rlckit::repeater::comparison;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let length = Length::from_millimeters(30.0);
-    println!("fixed workload: a {length} wide global wire, re-evaluated in each technology\n");
+    let length_mm = 30.0;
+    let base = Scenario { line_length_mm: length_mm, ..Scenario::default() };
+    let spec = SweepSpec::new(base)
+        .axis(Axis::new("node", TechnologyNode::ROADMAP.map(Param::Technology)));
+    let result = run_sweep(&spec, &RepeaterOptimumEvaluator, &SweepOptions::default())?;
+
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", CsvSink.render(&result));
+        return Ok(());
+    }
+
+    println!(
+        "fixed workload: a {length_mm} mm wide global wire, re-evaluated in each technology\n"
+    );
     println!(
         "{:<10} {:>10} {:>8} {:>16} {:>16} {:>16}",
         "node", "R0*C0", "T_L/R", "delay penalty", "area penalty", "energy penalty"
     );
-
-    for tech in Technology::roadmap() {
-        let line = tech.global_wire.line(length)?;
-        let problem = RepeaterProblem::for_line(&line, &tech)?;
-        let cmp = comparison::compare(&problem)?;
+    for (row, node) in result.rows.iter().zip(TechnologyNode::ROADMAP) {
+        let values = row.values.as_ref().map_err(|e| e.clone())?;
+        // Columns of RepeaterOptimumEvaluator: t_l_over_r is 0, the three
+        // penalties are the last three.
         println!(
             "{:<10} {:>10} {:>8.2} {:>15.1}% {:>15.1}% {:>15.1}%",
-            tech.name,
-            tech.buffer_time_constant().to_string(),
-            cmp.t_l_over_r,
-            cmp.delay_increase_percent,
-            cmp.area_increase_percent,
-            cmp.energy_increase_percent,
+            row.labels[0],
+            node.technology().buffer_time_constant().to_string(),
+            values[0],
+            values[7],
+            values[8],
+            values[9],
         );
     }
 

@@ -1,46 +1,7 @@
-//! # rlckit — inductance-aware interconnect delay and repeater insertion
-//!
-//! `rlckit` is a workspace-spanning facade for a reproduction of
-//! *Y. I. Ismail and E. G. Friedman, "Effects of Inductance on the Propagation
-//! Delay and Repeater Insertion in VLSI Circuits", DAC 1999*: a closed-form
-//! propagation-delay model for CMOS gates driving distributed RLC lines, and
-//! closed-form optimum repeater insertion for such lines.
-//!
-//! The individual crates are re-exported under friendlier module names:
-//!
-//! | module | crate | contents |
-//! |---|---|---|
-//! | [`units`] | `rlckit-units` | physical-quantity newtypes |
-//! | [`numeric`] | `rlckit-numeric` | LU, root finding, optimisation, inverse Laplace |
-//! | [`circuit`] | `rlckit-circuit` | MNA transient/AC simulator (the AS/X substitute) |
-//! | [`interconnect`] | `rlckit-interconnect` | distributed lines, geometry, technology, exact two-port |
-//! | [`model`] | `rlckit-core` | the Eq. (9) delay model, ζ, RC baselines |
-//! | [`repeater`] | `rlckit-repeater` | Bakoglu RC and Ismail–Friedman RLC repeater insertion |
-//! | [`coupling`] | `rlckit-coupling` | coupled buses: crosstalk scenarios, shields, bus-aware repeaters |
-//!
-//! # Quick start
-//!
-//! ```
-//! use rlckit::prelude::*;
-//!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // A 10 mm wide clock spine in a 0.25 µm technology, driven by a 100× buffer.
-//! let tech = Technology::quarter_micron();
-//! let line = tech.global_wire.line(Length::from_millimeters(10.0))?;
-//! let load = GateRlcLoad::from_line(
-//!     &line,
-//!     tech.buffer_resistance(100.0)?,
-//!     tech.buffer_capacitance(100.0)?,
-//! )?;
-//!
-//! // The paper's closed-form 50% delay (Eq. 9) and the RC model it improves on.
-//! let rlc = propagation_delay(&load);
-//! let elmore = rlckit::model::rc_models::elmore_delay(&load);
-//! assert!(rlc < elmore, "the Elmore estimate is pessimistic for this driver-dominated wire");
-//! # Ok(())
-//! # }
-//! ```
-
+//! The crate documentation is the repository README: the module table, the
+//! architecture diagram and every runnable example live there (and the Rust
+//! code fences below compile as doctests, so they cannot rot).
+#![doc = include_str!("../README.md")]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -50,6 +11,7 @@ pub use rlckit_coupling as coupling;
 pub use rlckit_interconnect as interconnect;
 pub use rlckit_numeric as numeric;
 pub use rlckit_repeater as repeater;
+pub use rlckit_sweep as sweep;
 pub use rlckit_units as units;
 
 /// Commonly used types and functions, re-exported for convenient glob imports.
@@ -67,6 +29,15 @@ pub mod prelude {
     pub use rlckit_interconnect::DistributedLine;
     pub use rlckit_repeater::design::{DesignStrategy, RepeaterDesigner};
     pub use rlckit_repeater::RepeaterProblem;
+    pub use rlckit_sweep::cache::SweepCache;
+    pub use rlckit_sweep::eval::{
+        BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
+        RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
+    };
+    pub use rlckit_sweep::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
+    pub use rlckit_sweep::scenario::{Param, Scenario, TechnologyNode};
+    pub use rlckit_sweep::sink::{CsvSink, JsonSink};
+    pub use rlckit_sweep::spec::{Axis, SweepSpec};
     pub use rlckit_units::{
         Area, Capacitance, CapacitancePerLength, Energy, Frequency, Inductance,
         InductancePerLength, Length, Power, Resistance, ResistancePerLength, Time, Voltage,
