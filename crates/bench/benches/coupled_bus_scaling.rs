@@ -20,7 +20,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::PerfReport;
+use rlckit_bench::report::{smoke_or, PerfReport};
 use rlckit_circuit::transient::{run_transient, TransientOptions};
 use rlckit_circuit::SolverBackend;
 use rlckit_coupling::bus::UniformBusSpec;
@@ -31,8 +31,10 @@ use rlckit_units::{
     ResistancePerLength, Time, Voltage,
 };
 
-/// (lines, sections) points of the sweep.
-const SWEEP: [(usize, usize); 6] = [(2, 25), (2, 100), (3, 50), (3, 200), (5, 100), (5, 400)];
+/// (lines, sections) points of the sweep; smoke mode keeps the two cheapest.
+fn sweep() -> Vec<(usize, usize)> {
+    smoke_or(vec![(2, 25), (3, 50)], vec![(2, 25), (2, 100), (3, 50), (3, 200), (5, 100), (5, 400)])
+}
 /// The dense kernel only runs while `dim ≤ DENSE_DIM_LIMIT`.
 const DENSE_DIM_LIMIT: usize = 1500;
 
@@ -82,8 +84,8 @@ fn time_one(built: &BusCircuit, backend: SolverBackend) -> f64 {
 
 fn bench_coupled_bus(c: &mut Criterion) {
     let mut group = c.benchmark_group("coupled_bus_scaling");
-    group.sample_size(10);
-    for (lines, sections) in SWEEP {
+    group.sample_size(smoke_or(2, 10));
+    for (lines, sections) in sweep() {
         let label = format!("{lines}x{sections}");
         let built = bus_circuit(lines, sections);
         group.bench_with_input(BenchmarkId::new("banded", &label), &built, |b, built| {
@@ -107,7 +109,7 @@ fn bench_coupled_bus(c: &mut Criterion) {
 /// contents do not depend on criterion internals.
 fn write_perf_trajectory() {
     let mut report = PerfReport::new("coupled_bus");
-    for (lines, sections) in SWEEP {
+    for (lines, sections) in sweep() {
         let label = format!("{lines}x{sections}");
         let built = bus_circuit(lines, sections);
         let banded = time_one(&built, SolverBackend::Banded);

@@ -10,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rlckit_bench::report::smoke_or;
 use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
 use rlckit_core::load::GateRlcLoad;
 use rlckit_core::model::propagation_delay;
@@ -59,6 +60,7 @@ fn bench_delay_estimators(c: &mut Criterion) {
     let driven = driven_line();
 
     let mut group = c.benchmark_group("delay_estimators");
+    group.sample_size(smoke_or(2, 10));
     group.bench_function("closed_form_eq9", |b| b.iter(|| propagation_delay(black_box(&load))));
     group.bench_function("two_pole_analytic", |b| {
         b.iter(|| TwoPoleResponse::of(black_box(&load)).delay_50().expect("crossing"))
@@ -66,9 +68,9 @@ fn bench_delay_estimators(c: &mut Criterion) {
     group.bench_function("exact_laplace_two_port", |b| {
         b.iter(|| driven.delay_50().expect("crossing"))
     });
-    group.sample_size(10);
-    group.bench_function("transient_ladder_simulation_40_segments", |b| {
-        b.iter(|| measure_step_delay(black_box(&ladder_spec(40))).expect("simulates"))
+    let segments = smoke_or(10, 40);
+    group.bench_function(format!("transient_ladder_simulation_{segments}_segments"), |b| {
+        b.iter(|| measure_step_delay(black_box(&ladder_spec(segments))).expect("simulates"))
     });
     group.finish();
 }

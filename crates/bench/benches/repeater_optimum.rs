@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rlckit_bench::report::smoke_or;
 use rlckit_interconnect::Technology;
 use rlckit_repeater::comparison::compare;
 use rlckit_repeater::design::{DesignStrategy, RepeaterDesigner};
@@ -27,6 +28,7 @@ fn bench_repeater_strategies(c: &mut Criterion) {
     let designer = RepeaterDesigner::new(&line, &tech);
 
     let mut group = c.benchmark_group("repeater_insertion");
+    group.sample_size(smoke_or(2, 10));
     group.bench_function("closed_form_rlc_optimum", |b| {
         b.iter(|| black_box(&problem).rlc_optimum())
     });

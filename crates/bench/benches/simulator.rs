@@ -10,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use rlckit_bench::report::smoke_or;
 use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
 use rlckit_units::{Capacitance, Inductance, Resistance, Voltage};
 
@@ -28,8 +29,8 @@ fn spec(segments: usize) -> LadderSpec {
 
 fn bench_simulator_segments(c: &mut Criterion) {
     let mut group = c.benchmark_group("transient_ladder");
-    group.sample_size(10);
-    for segments in [10usize, 20, 40, 80] {
+    group.sample_size(smoke_or(2, 10));
+    for segments in smoke_or(vec![10usize, 20], vec![10usize, 20, 40, 80]) {
         group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, &segments| {
             b.iter(|| measure_step_delay(black_box(&spec(segments))).expect("simulates"))
         });

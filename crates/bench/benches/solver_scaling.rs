@@ -18,14 +18,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::PerfReport;
+use rlckit_bench::report::{smoke_or, PerfReport};
 use rlckit_circuit::ladder::{LadderSpec, SegmentStyle};
 use rlckit_circuit::transient::{run_transient, TransientOptions};
 use rlckit_circuit::SolverBackend;
 use rlckit_units::{Capacitance, Inductance, Resistance, Time, Voltage};
 
 /// Sizes both kernels run; the dense kernel stops at [`DENSE_LIMIT`].
-const SECTIONS: [usize; 7] = [10, 50, 100, 200, 500, 1000, 2000];
+/// Smoke mode (`RLCKIT_BENCH_SMOKE`) keeps only the two cheapest points.
+fn sections() -> Vec<usize> {
+    smoke_or(vec![10, 50], vec![10, 50, 100, 200, 500, 1000, 2000])
+}
 const DENSE_LIMIT: usize = 500;
 
 fn spec(sections: usize) -> LadderSpec {
@@ -60,8 +63,8 @@ fn time_one(sections: usize, backend: SolverBackend) -> f64 {
 
 fn bench_solver_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");
-    group.sample_size(10);
-    for sections in SECTIONS {
+    group.sample_size(smoke_or(2, 10));
+    for sections in sections() {
         group.bench_with_input(BenchmarkId::new("banded", sections), &sections, |b, &sections| {
             let line = spec(sections).build().expect("ladder builds");
             let opts = options(SolverBackend::Banded);
@@ -90,7 +93,7 @@ fn bench_solver_scaling(c: &mut Criterion) {
 fn write_perf_trajectory() {
     let mut report = PerfReport::new("solver_scaling");
     let mut speedup_at_500 = None;
-    for sections in SECTIONS {
+    for sections in sections() {
         let banded = time_one(sections, SolverBackend::Banded);
         report.push(format!("banded/{sections}"), banded, "seconds");
         if sections <= DENSE_LIMIT {

@@ -12,15 +12,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::PerfReport;
+use rlckit_bench::report::{smoke_or, PerfReport};
 use rlckit_sweep::cache::SweepCache;
 use rlckit_sweep::eval::BusCrosstalkEvaluator;
 use rlckit_sweep::exec::{run_sweep, run_sweep_cached, SweepOptions};
 use rlckit_sweep::scenario::{Param, Scenario, TechnologyNode};
 use rlckit_sweep::spec::{Axis, SweepSpec};
 
-/// Worker counts the trajectory records.
-const THREADS: [usize; 3] = [1, 2, 4];
+/// Worker counts the trajectory records; smoke mode stops at two workers.
+fn threads() -> Vec<usize> {
+    smoke_or(vec![1, 2], vec![1, 2, 4])
+}
 
 /// A 12-cell transient sweep: bus pitch (zipped Cc + k axis) × line count.
 fn sweep_spec() -> SweepSpec {
@@ -58,8 +60,8 @@ fn time_threads(threads: usize) -> f64 {
 
 fn bench_sweep_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_scaling");
-    group.sample_size(10);
-    for threads in THREADS {
+    group.sample_size(smoke_or(2, 10));
+    for threads in threads() {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
             let spec = sweep_spec();
             let opts = SweepOptions::with_threads(threads);
@@ -80,7 +82,7 @@ fn write_perf_trajectory() {
     report.push("cpus", cpus as f64, "count");
 
     let mut serial = None;
-    for threads in THREADS {
+    for threads in threads() {
         let seconds = time_threads(threads);
         report.push(format!("threads/{threads}"), seconds, "seconds");
         match serial {

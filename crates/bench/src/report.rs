@@ -91,6 +91,26 @@ pub fn csv_requested() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
+/// Returns `true` when the `RLCKIT_BENCH_SMOKE` environment variable is set.
+///
+/// In smoke mode every bench shrinks its sweep to a few cheap points while
+/// still exercising its full code path — including the `BENCH_*.json`
+/// writers, so CI can prove they haven't rotted without paying for a full
+/// perf run. The recorded numbers are meaningless in smoke mode; the
+/// committed trajectories always come from full runs.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("RLCKIT_BENCH_SMOKE").is_some()
+}
+
+/// Picks the smoke or full variant of a bench parameter set.
+pub fn smoke_or<T>(smoke: T, full: T) -> T {
+    if smoke_mode() {
+        smoke
+    } else {
+        full
+    }
+}
+
 /// One measured quantity in a performance report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfRecord {

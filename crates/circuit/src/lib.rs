@@ -19,6 +19,8 @@
 //!   system, with bandwidth detection under a reverse Cuthill–McKee ordering;
 //! * [`solve`] — the circuit-side face of the pluggable dense/banded
 //!   [`SolverBackend`];
+//! * [`state_space`] — the descriptor state-space view `(G, C, B, Lᵀ)` of an
+//!   assembled circuit, consumed by the Krylov model-order reducer;
 //! * [`dc`] — DC operating point;
 //! * [`transient`] — fixed-step transient analysis (backward Euler or
 //!   trapezoidal);
@@ -72,6 +74,7 @@ pub mod mna;
 pub mod netlist;
 pub mod solve;
 pub mod source;
+pub mod state_space;
 pub mod transient;
 pub mod waveform;
 
@@ -79,4 +82,5 @@ pub use error::CircuitError;
 pub use netlist::{Circuit, InductorId, NodeId, SourceId};
 pub use rlckit_numeric::solver::{ResolvedBackend, SolverBackend};
 pub use source::SourceWaveform;
+pub use state_space::DescriptorStateSpace;
 pub use waveform::Waveform;

@@ -294,6 +294,36 @@ impl MnaSystem {
         }
     }
 
+    /// Computes `y = G·x` in logical order directly from the triplet stamps
+    /// (`O(nnz)`, no matrix materialised) — the sparse mat-vec the Krylov
+    /// model-order reducer leans on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_g(&self, x: &[f64]) -> Vec<f64> {
+        apply_stamps(self.dim, &self.g_stamps, x)
+    }
+
+    /// Computes `y = C·x` in logical order directly from the triplet stamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_c(&self, x: &[f64]) -> Vec<f64> {
+        apply_stamps(self.dim, &self.c_stamps, x)
+    }
+
+    /// Real-valued unit excitation of one source (every other source off) —
+    /// the `B` column of the descriptor state space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSource`] if the source does not exist.
+    pub fn unit_excitation_real(&self, excited: SourceId) -> Result<Vec<f64>, CircuitError> {
+        Ok(self.unit_excitation(excited)?.iter().map(|z| z.re).collect())
+    }
+
     /// Builds the complex system matrix `A(s) = G + s·C` densely, in logical
     /// order (intended for inspection; [`MnaSystem::assemble_complex`] is the
     /// band-form equivalent the AC analysis uses).
@@ -336,6 +366,15 @@ impl MnaSystem {
         }
         Ok(b)
     }
+}
+
+fn apply_stamps(dim: usize, stamps: &[Stamp], x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), dim, "vector length must equal system dimension");
+    let mut y = vec![0.0; dim];
+    for &(r, c, v) in stamps {
+        y[r] += v * x[c];
+    }
+    y
 }
 
 fn dense_from_stamps(dim: usize, stamps: &[Stamp]) -> Matrix<f64> {
@@ -544,6 +583,39 @@ mod tests {
             mna.unit_excitation(SourceId(5)),
             Err(CircuitError::UnknownSource { index: 5 })
         ));
+    }
+
+    #[test]
+    fn stamp_mat_vec_matches_dense_products() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_inductor(a, b, Inductance::from_nanohenries(3.0)).unwrap();
+        c.add_capacitor(b, gnd, Capacitance::from_picofarads(2.0)).unwrap();
+        c.add_resistor(b, gnd, Resistance::from_ohms(75.0)).unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        let x: Vec<f64> = (0..mna.dim()).map(|i| (i as f64 + 1.0) * 0.5).collect();
+        let via_stamps = mna.apply_g(&x);
+        let via_dense = mna.dense_g().mul_vec(&x);
+        for (s, d) in via_stamps.iter().zip(via_dense.iter()) {
+            assert!((s - d).abs() < 1e-12 * d.abs().max(1.0));
+        }
+        let via_stamps = mna.apply_c(&x);
+        let via_dense = mna.dense_c().mul_vec(&x);
+        for (s, d) in via_stamps.iter().zip(via_dense.iter()) {
+            assert!((s - d).abs() < 1e-24 + 1e-12 * d.abs());
+        }
+    }
+
+    #[test]
+    fn real_unit_excitation_matches_the_complex_one() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let real = mna.unit_excitation_real(SourceId(0)).unwrap();
+        assert_eq!(real, vec![0.0, 0.0, 1.0]);
+        assert!(mna.unit_excitation_real(SourceId(9)).is_err());
     }
 
     #[test]

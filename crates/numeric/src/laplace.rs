@@ -11,7 +11,38 @@
 //!   `F(s)` are needed, but the method silently damps oscillations, so it is
 //!   offered mainly as a cross-check for overdamped responses.
 
+use std::error::Error;
+use std::fmt;
+
 use crate::complex::Complex;
+
+/// Error returned by the checked inverse-Laplace entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaplaceError {
+    /// A time argument was NaN or infinite, or the horizon was non-positive.
+    InvalidTime {
+        /// The offending time value.
+        value: f64,
+    },
+    /// The sampling configuration is unusable (zero samples, too few terms).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for LaplaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidTime { value } => {
+                write!(f, "invalid time for Laplace inversion: {value}")
+            }
+            Self::InvalidConfig { reason } => write!(f, "invalid inversion config: {reason}"),
+        }
+    }
+}
+
+impl Error for LaplaceError {}
 
 /// Inverts a Laplace transform at time `t` using the fixed-Talbot method.
 ///
@@ -131,20 +162,30 @@ fn factorial(n: usize) -> f64 {
 ///
 /// Returns `(times, values)` with `samples + 1` points from `0` to `t_end`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `t_end <= 0`, `samples == 0`, or `terms < 2`.
+/// Returns [`LaplaceError::InvalidTime`] if `t_end` is not a positive finite
+/// number (NaN and infinity included — the non-finite-input guard shared by
+/// the model-order-reduction entry points) and [`LaplaceError::InvalidConfig`]
+/// if `samples == 0` or `terms < 2`.
 pub fn step_response_samples<F>(
     transfer: F,
     t_end: f64,
     samples: usize,
     terms: usize,
-) -> (Vec<f64>, Vec<f64>)
+) -> Result<(Vec<f64>, Vec<f64>), LaplaceError>
 where
     F: Fn(Complex) -> Complex,
 {
-    assert!(t_end > 0.0, "t_end must be positive");
-    assert!(samples > 0, "at least one sample is required");
+    if !t_end.is_finite() || !(t_end > 0.0) {
+        return Err(LaplaceError::InvalidTime { value: t_end });
+    }
+    if samples == 0 {
+        return Err(LaplaceError::InvalidConfig { reason: "at least one sample is required" });
+    }
+    if terms < 2 {
+        return Err(LaplaceError::InvalidConfig { reason: "talbot requires at least 2 terms" });
+    }
     let mut times = Vec::with_capacity(samples + 1);
     let mut values = Vec::with_capacity(samples + 1);
     for i in 0..=samples {
@@ -157,7 +198,7 @@ where
             values.push(v);
         }
     }
-    (times, values)
+    Ok((times, values))
 }
 
 #[cfg(test)]
@@ -269,7 +310,7 @@ mod tests {
     #[test]
     fn step_response_sampling_monotone_grid() {
         let h = |s: Complex| (s + 1.0).recip();
-        let (times, values) = step_response_samples(h, 5.0, 50, 32);
+        let (times, values) = step_response_samples(h, 5.0, 50, 32).unwrap();
         assert_eq!(times.len(), 51);
         assert_eq!(values.len(), 51);
         assert_eq!(times[0], 0.0);
@@ -284,8 +325,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn step_response_requires_positive_horizon() {
-        let _ = step_response_samples(|s| s.recip(), 0.0, 10, 16);
+    fn step_response_invalid_inputs_are_typed_errors() {
+        // Previously these were panics; the satellite hardening turned them
+        // into typed errors matching the SourceWaveform::validate convention.
+        assert!(matches!(
+            step_response_samples(|s| s.recip(), 0.0, 10, 16),
+            Err(LaplaceError::InvalidTime { value }) if value == 0.0
+        ));
+        assert!(matches!(
+            step_response_samples(|s| s.recip(), f64::NAN, 10, 16),
+            Err(LaplaceError::InvalidTime { .. })
+        ));
+        assert!(matches!(
+            step_response_samples(|s| s.recip(), f64::INFINITY, 10, 16),
+            Err(LaplaceError::InvalidTime { .. })
+        ));
+        assert!(matches!(
+            step_response_samples(|s| s.recip(), 1.0, 0, 16),
+            Err(LaplaceError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            step_response_samples(|s| s.recip(), 1.0, 10, 1),
+            Err(LaplaceError::InvalidConfig { .. })
+        ));
+        let e = LaplaceError::InvalidTime { value: f64::NAN };
+        assert!(e.to_string().contains("invalid time"));
+        assert!(LaplaceError::InvalidConfig { reason: "x" }.to_string().contains('x'));
     }
 }

@@ -16,6 +16,12 @@
 //! * [`roots`] — bracketing root finders (bisection, Brent);
 //! * [`optimize`] — golden-section search, Nelder–Mead simplex and grid
 //!   refinement (used by the numerical repeater optimiser);
+//! * [`orth`] — modified Gram–Schmidt orthonormalization with
+//!   reorthogonalization and deflation (the Krylov-basis kernel of the
+//!   model-order-reduction crate);
+//! * [`eig`] — a small dense nonsymmetric eigensolver (Householder
+//!   Hessenberg reduction + Francis double-shift QR), used for reduced-model
+//!   pole extraction and companion-matrix polynomial roots;
 //! * [`laplace`] — numerical inverse Laplace transforms (fixed Talbot and
 //!   Gaver–Stehfest), used to evaluate the exact transmission-line transfer
 //!   function in the time domain;
@@ -46,12 +52,14 @@
 
 pub mod banded;
 pub mod complex;
+pub mod eig;
 pub mod interp;
 pub mod laplace;
 pub mod lu;
 pub mod matrix;
 pub mod optimize;
 pub mod ordering;
+pub mod orth;
 pub mod poly;
 pub mod roots;
 pub mod solver;
@@ -59,5 +67,7 @@ pub mod stats;
 
 pub use banded::{BandedLuFactor, BandedMatrix};
 pub use complex::Complex;
+pub use eig::{eigenvalues, EigError};
 pub use matrix::Matrix;
+pub use orth::OrthoBuilder;
 pub use solver::{FactoredSolver, ResolvedBackend, SolverBackend};

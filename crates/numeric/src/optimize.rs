@@ -77,6 +77,12 @@ where
     if !(a < b) {
         return Err(OptimizeError::InvalidBounds { reason: "golden section requires a < b" });
     }
+    if !a.is_finite() || !b.is_finite() {
+        return Err(OptimizeError::InvalidBounds { reason: "interval endpoints must be finite" });
+    }
+    if !tol.is_finite() {
+        return Err(OptimizeError::InvalidBounds { reason: "tolerance must be finite" });
+    }
     const INV_PHI: f64 = 0.618_033_988_749_894_8;
     let mut lo = a;
     let mut hi = b;
@@ -157,6 +163,16 @@ where
     let n = start.len();
     if n == 0 {
         return Err(OptimizeError::InvalidBounds { reason: "start point must be non-empty" });
+    }
+    if start.iter().any(|x| !x.is_finite()) {
+        // Catch NaN/∞ at the entry point: inside the iteration such a start
+        // would poison every centroid silently rather than fail loudly.
+        return Err(OptimizeError::NonFinite { at: start.to_vec() });
+    }
+    if !options.initial_step.is_finite() || !options.tolerance.is_finite() {
+        return Err(OptimizeError::InvalidBounds {
+            reason: "initial step and tolerance must be finite",
+        });
     }
     let mut evals = 0usize;
     let mut eval = |x: &[f64], evals: &mut usize| -> Result<f64, OptimizeError> {
@@ -292,6 +308,13 @@ where
     if !(x_range.0 < x_range.1) || !(y_range.0 < y_range.1) {
         return Err(OptimizeError::InvalidBounds { reason: "grid ranges must be non-empty" });
     }
+    if !x_range.0.is_finite()
+        || !x_range.1.is_finite()
+        || !y_range.0.is_finite()
+        || !y_range.1.is_finite()
+    {
+        return Err(OptimizeError::InvalidBounds { reason: "grid ranges must be finite" });
+    }
     if nx < 2 || ny < 2 {
         return Err(OptimizeError::InvalidBounds {
             reason: "grid must have at least 2 points per axis",
@@ -365,6 +388,36 @@ mod tests {
         };
         let m = nelder_mead(f, &[2.0], NelderMeadOptions::default()).unwrap();
         assert!((m.point[0] - 0.5).abs() < 1e-3, "constrained minimum at 0.5, got {}", m.point[0]);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_at_the_entry_points() {
+        // Satellite hardening: non-finite *inputs* (not just objective
+        // values) must surface as typed errors, never as silent NaN drift.
+        assert!(matches!(
+            golden_section(|x| x * x, f64::NEG_INFINITY, 1.0, 1e-10, 50),
+            Err(OptimizeError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            golden_section(|x| x * x, 0.0, 1.0, f64::NAN, 50),
+            Err(OptimizeError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            nelder_mead(|p| p[0], &[1.0, f64::NAN], NelderMeadOptions::default()),
+            Err(OptimizeError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            nelder_mead(
+                |p| p[0],
+                &[1.0],
+                NelderMeadOptions { initial_step: f64::INFINITY, ..Default::default() }
+            ),
+            Err(OptimizeError::InvalidBounds { .. })
+        ));
+        assert!(matches!(
+            grid_search_2d(|x, _| x, (0.0, f64::INFINITY), (0.0, 1.0), 3, 3),
+            Err(OptimizeError::InvalidBounds { .. })
+        ));
     }
 
     #[test]

@@ -1,11 +1,22 @@
 //! Small polynomial utilities.
 //!
 //! Transfer-function denominators truncated to a few terms are low-order
-//! polynomials in `s`; this module provides evaluation, differentiation and
+//! polynomials in `s`; this module provides evaluation, differentiation,
 //! closed-form roots for the quadratic case (the two-pole approximation used
-//! by the analytic step-response model).
+//! by the analytic step-response model) and general roots via the companion
+//! matrix and the [`crate::eig`] QR eigensolver — the path reduced-order
+//! denominators of any order take.
+//!
+//! Repeated and nearly repeated roots are first-class here: a symmetric bus
+//! reduces to modal lines whose poles can coincide to many digits, which
+//! makes downstream partial-fraction (Vandermonde) solves singular.
+//! [`separate_clustered`] applies the standard remedy — a tiny, deterministic
+//! relative perturbation that splits each cluster while staying inside the
+//! accuracy the roots were computed to.
 
 use crate::complex::Complex;
+use crate::eig::{eigenvalues, EigError};
+use crate::matrix::Matrix;
 
 /// A polynomial with real coefficients, stored lowest degree first:
 /// `coeffs[0] + coeffs[1]·x + coeffs[2]·x² + …`.
@@ -87,6 +98,89 @@ impl Polynomial {
             Some((Complex::new(re, im), Complex::new(re, -im)))
         }
     }
+
+    /// All complex roots of the polynomial, via the companion matrix and the
+    /// QR eigensolver.
+    ///
+    /// Degree 0 returns an empty list; degrees 1 and 2 use closed forms.
+    /// Repeated roots are returned with their multiplicity (clustered to the
+    /// accuracy the eigensolver achieves — `O(ε^{1/m})` for an `m`-fold root,
+    /// the intrinsic conditioning of defective eigenvalues).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EigError::NonFinite`] if any coefficient is non-finite, and
+    /// propagates a (pathological) QR convergence failure.
+    pub fn roots(&self) -> Result<Vec<Complex>, EigError> {
+        if self.coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(EigError::NonFinite);
+        }
+        let n = self.degree();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let lead = *self.coeffs.last().expect("non-empty coefficients");
+        if n == 1 {
+            return Ok(vec![Complex::from_real(-self.coeffs[0] / lead)]);
+        }
+        if n == 2 {
+            let (r1, r2) = self.quadratic_roots().expect("degree checked");
+            return Ok(vec![r1, r2]);
+        }
+        // Companion matrix of the monic polynomial: already upper Hessenberg,
+        // so the eigensolver skips straight to the QR iteration.
+        let mut companion = Matrix::zeros(n, n);
+        for i in 1..n {
+            companion[(i, i - 1)] = 1.0;
+        }
+        for i in 0..n {
+            companion[(i, n - 1)] = -self.coeffs[i] / lead;
+        }
+        eigenvalues(&companion)
+    }
+}
+
+/// Splits clusters of (nearly) coincident complex values by a deterministic
+/// relative perturbation, so downstream partial-fraction / Vandermonde
+/// solves stay non-singular.
+///
+/// Two values belong to the same cluster when their distance is below
+/// `rel_tol` times the largest magnitude in the set (with an absolute floor
+/// of `rel_tol` for all-zero inputs). Each cluster member `k = 0, 1, 2, …`
+/// is nudged by `k · spread` along the real axis, where `spread` is the
+/// cluster-splitting distance `rel_tol · scale`. Values already separated
+/// are returned untouched.
+///
+/// The perturbation is the textbook AWE/pole-extraction workaround for
+/// defective poles: a shift of the same order as the root-finding error
+/// changes nothing physical but makes every pole simple again.
+///
+/// # Panics
+///
+/// Panics if `rel_tol` is not a positive finite number.
+pub fn separate_clustered(values: &mut [Complex], rel_tol: f64) {
+    assert!(rel_tol.is_finite() && rel_tol > 0.0, "cluster tolerance must be positive and finite");
+    // The scale must come from the data itself: an absolute floor (e.g. 1.0)
+    // would misclassify entire spectra of small-magnitude values — such as
+    // circuit time constants in seconds — as one big cluster.
+    let max_abs = values.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+    let scale = if max_abs > 0.0 { max_abs } else { 1.0 };
+    let spread = rel_tol * scale;
+    let n = values.len();
+    // O(n²) pairwise pass: n is a reduction order here (tens at most).
+    let mut cluster_rank = vec![0usize; n];
+    for i in 0..n {
+        for j in 0..i {
+            if (values[i] - values[j]).abs() < spread {
+                cluster_rank[i] = cluster_rank[i].max(cluster_rank[j] + 1);
+            }
+        }
+    }
+    for (v, &rank) in values.iter_mut().zip(cluster_rank.iter()) {
+        if rank > 0 {
+            *v += Complex::from_real(rank as f64 * spread);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -158,5 +252,135 @@ mod tests {
         for r in [r1, r2] {
             assert!(p.eval_complex(r).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn general_roots_by_companion_matrix() {
+        // (x−1)(x−2)(x−3)(x+4) = x⁴ − 2x³ − 13x² + 38x − 24.
+        let p = Polynomial::new(vec![-24.0, 38.0, -13.0, -2.0, 1.0]);
+        let mut roots = p.roots().unwrap();
+        roots.sort_by(|a, b| a.re.total_cmp(&b.re));
+        let expected = [-4.0, 1.0, 2.0, 3.0];
+        assert_eq!(roots.len(), 4);
+        for (r, want) in roots.iter().zip(expected.iter()) {
+            assert!((r.re - want).abs() < 1e-9 && r.im.abs() < 1e-9, "{r:?} vs {want}");
+        }
+    }
+
+    #[test]
+    fn low_degree_roots_use_closed_forms() {
+        assert!(Polynomial::constant(5.0).roots().unwrap().is_empty());
+        let linear = Polynomial::new(vec![6.0, -2.0]);
+        let r = linear.roots().unwrap();
+        assert_eq!(r.len(), 1);
+        assert!((r[0].re - 3.0).abs() < 1e-15);
+        let quadratic = Polynomial::new(vec![5.0, 2.0, 1.0]); // roots −1 ± 2i
+        let r = quadratic.roots().unwrap();
+        assert!((r[0].re + 1.0).abs() < 1e-12 && (r[0].im.abs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defective_double_root_regression() {
+        // (x−1)²: a defective companion matrix. Roots must both land near 1
+        // within the O(√ε) conditioning of a double eigenvalue.
+        let p = Polynomial::new(vec![1.0, -2.0, 1.0]);
+        for r in p.roots().unwrap() {
+            assert!((r - Complex::ONE).abs() < 1e-6, "double root drifted: {r:?}");
+        }
+        // (x−2)³: triple root, O(ε^{1/3}) conditioning.
+        let p = Polynomial::new(vec![-8.0, 12.0, -6.0, 1.0]);
+        let roots = p.roots().unwrap();
+        assert_eq!(roots.len(), 3);
+        for r in roots {
+            assert!((r - Complex::from_real(2.0)).abs() < 1e-4, "triple root drifted: {r:?}");
+        }
+    }
+
+    #[test]
+    fn near_repeated_roots_regression() {
+        // (x − 1)(x − 1.000001): nearly defective; both roots must still be
+        // recovered to far better than their separation.
+        let a = 1.0;
+        let b = 1.000001;
+        let p = Polynomial::new(vec![a * b, -(a + b), 1.0]);
+        let mut roots = p.roots().unwrap();
+        roots.sort_by(|x, y| x.re.total_cmp(&y.re));
+        assert!((roots[0].re - a).abs() < 1e-9);
+        assert!((roots[1].re - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_finite_coefficients_are_typed_errors() {
+        let p = Polynomial::new(vec![1.0, f64::NAN, 1.0, 2.0]);
+        assert!(matches!(p.roots(), Err(EigError::NonFinite)));
+    }
+
+    #[test]
+    fn separate_clustered_splits_coincident_values() {
+        let mut v = vec![
+            Complex::from_real(5.0),
+            Complex::from_real(5.0),
+            Complex::from_real(5.0),
+            Complex::from_real(-1.0),
+        ];
+        separate_clustered(&mut v, 1e-9);
+        // Every pair is now distinct…
+        for i in 0..v.len() {
+            for j in 0..i {
+                assert!((v[i] - v[j]).abs() > 0.0, "pair ({i},{j}) still coincident");
+            }
+        }
+        // …but nothing moved more than a few parts in 1e9.
+        assert!((v[0] - Complex::from_real(5.0)).abs() < 1e-7);
+        assert!((v[2] - Complex::from_real(5.0)).abs() < 1e-7);
+        // The isolated value is untouched exactly.
+        assert_eq!(v[3], Complex::from_real(-1.0));
+    }
+
+    #[test]
+    fn separate_clustered_leaves_separated_values_alone() {
+        let original =
+            vec![Complex::new(1.0, 2.0), Complex::new(-3.0, 0.0), Complex::new(1.0, -2.0)];
+        let mut v = original.clone();
+        separate_clustered(&mut v, 1e-9);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn separate_clustered_scales_to_small_magnitudes() {
+        // Regression: circuit time constants live around 1e-10 s. A spectrum
+        // of well-separated tiny values must NOT be treated as one cluster
+        // (an absolute scale floor once did exactly that), while true
+        // duplicates at that magnitude must still split.
+        let original =
+            vec![Complex::from_real(1e-10), Complex::from_real(2e-10), Complex::from_real(3e-10)];
+        let mut v = original.clone();
+        separate_clustered(&mut v, 1e-8);
+        assert_eq!(v, original, "well-separated small values must be untouched");
+        let mut dup =
+            vec![Complex::from_real(1e-10), Complex::from_real(1e-10), Complex::from_real(5e-10)];
+        separate_clustered(&mut dup, 1e-8);
+        assert!((dup[0] - dup[1]).abs() > 0.0, "tiny duplicates must still split");
+        assert!((dup[1] - Complex::from_real(1e-10)).abs() < 1e-16, "split stays proportionate");
+    }
+
+    #[test]
+    fn separate_clustered_handles_conjugate_pairs() {
+        // A nearly repeated complex pair (two identical conjugate pairs, the
+        // symmetric-bus stress case): all four must become distinct without
+        // breaking which half-plane they sit in.
+        let mut v = vec![
+            Complex::new(-2.0, 3.0),
+            Complex::new(-2.0, -3.0),
+            Complex::new(-2.0, 3.0),
+            Complex::new(-2.0, -3.0),
+        ];
+        separate_clustered(&mut v, 1e-8);
+        for i in 0..v.len() {
+            for j in 0..i {
+                assert!((v[i] - v[j]).abs() > 0.0);
+            }
+        }
+        assert!(v.iter().all(|z| z.re < 0.0), "stability must survive the perturbation");
     }
 }

@@ -218,7 +218,13 @@ where
     F: FnMut(f64) -> f64,
 {
     let fa = f(a);
+    if !fa.is_finite() {
+        return Err(RootError::NonFinite { at: a });
+    }
     let mut fb = f(b);
+    if !fb.is_finite() {
+        return Err(RootError::NonFinite { at: b });
+    }
     for _ in 0..max_expansions {
         if fa.signum() != fb.signum() {
             return Ok((a, b));
@@ -311,6 +317,21 @@ mod tests {
         assert!(a <= 100.0 && b >= 100.0);
         let r = brent(|x| x - 100.0, a, b, 1e-12, 100).unwrap();
         assert!((r - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_bracket_rejects_non_finite_endpoints() {
+        // Regression: a NaN at the *initial* endpoints used to slip through
+        // (only expanded endpoints were checked), making signum() comparisons
+        // silently meaningless.
+        assert!(matches!(
+            expand_bracket(|x| if x == 0.0 { f64::NAN } else { x }, 0.0, 1.0, 2.0, 5),
+            Err(RootError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            expand_bracket(|x| if x == 1.0 { f64::INFINITY } else { x }, 0.0, 1.0, 2.0, 5),
+            Err(RootError::NonFinite { .. })
+        ));
     }
 
     #[test]

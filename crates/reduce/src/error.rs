@@ -1,0 +1,104 @@
+//! Error type shared by the model-order-reduction pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use rlckit_circuit::CircuitError;
+use rlckit_coupling::CouplingError;
+use rlckit_numeric::eig::EigError;
+
+/// Error returned by reduction, pole extraction and reduced-model evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReduceError {
+    /// The requested reduction order is unusable (zero, or beyond the full
+    /// system dimension).
+    InvalidOrder {
+        /// The requested order.
+        order: usize,
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// An input value is NaN or infinite — rejected at the entry point,
+    /// matching the `SourceWaveform::validate` convention.
+    NonFinite {
+        /// Which parameter was non-finite.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The Krylov iteration or a dense kernel broke down.
+    Breakdown {
+        /// Which stage broke down.
+        stage: &'static str,
+    },
+    /// A measurement on the reduced model could not be completed.
+    Measurement {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Error propagated from circuit construction or MNA assembly.
+    Circuit(CircuitError),
+    /// Error propagated from coupled-bus construction.
+    Coupling(CouplingError),
+    /// Error propagated from the eigensolver.
+    Eig(EigError),
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidOrder { order, reason } => {
+                write!(f, "invalid reduction order {order}: {reason}")
+            }
+            Self::NonFinite { what, value } => write!(f, "non-finite {what}: {value}"),
+            Self::Breakdown { stage } => write!(f, "reduction breakdown during {stage}"),
+            Self::Measurement { reason } => write!(f, "reduced-model measurement failed: {reason}"),
+            Self::Circuit(e) => write!(f, "circuit error: {e}"),
+            Self::Coupling(e) => write!(f, "coupling error: {e}"),
+            Self::Eig(e) => write!(f, "eigensolver error: {e}"),
+        }
+    }
+}
+
+impl Error for ReduceError {}
+
+impl From<CircuitError> for ReduceError {
+    fn from(e: CircuitError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<CouplingError> for ReduceError {
+    fn from(e: CouplingError) -> Self {
+        Self::Coupling(e)
+    }
+}
+
+impl From<EigError> for ReduceError {
+    fn from(e: EigError) -> Self {
+        Self::Eig(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ReduceError::InvalidOrder { order: 0, reason: "zero" }.to_string().contains('0'));
+        assert!(ReduceError::NonFinite { what: "moment", value: f64::NAN }
+            .to_string()
+            .contains("moment"));
+        assert!(ReduceError::Breakdown { stage: "arnoldi" }.to_string().contains("arnoldi"));
+        assert!(ReduceError::Measurement { reason: "no crossing".into() }
+            .to_string()
+            .contains("no crossing"));
+        let c: ReduceError = CircuitError::EmptyCircuit.into();
+        assert!(c.to_string().contains("no elements"));
+        let e: ReduceError = EigError::NonFinite.into();
+        assert!(e.to_string().contains("eigensolver"));
+        let k: ReduceError = CouplingError::InvalidParameter { what: "k", value: 2.0 }.into();
+        assert!(k.to_string().contains("coupling"));
+    }
+}

@@ -1,0 +1,298 @@
+//! The PRIMA-style block-Arnoldi projector.
+//!
+//! Starting from the descriptor system `G·x + C·ẋ = B·u, y = Lᵀx`, the
+//! block Krylov subspace
+//!
+//! ```text
+//! K_q(A, R) = span{R, A·R, A²·R, …},   A = G⁻¹C,  R = G⁻¹B
+//! ```
+//!
+//! contains the leading moments of every transfer function of the system.
+//! [`prima`] builds an orthonormal basis `V` of that subspace (modified
+//! Gram–Schmidt with deflation, [`OrthoBuilder`]) and projects congruently —
+//! `Gᵣ = VᵀGV`, `Cᵣ = VᵀCV`, `Bᵣ = VᵀB`, `Lᵣ = VᵀL` — the PRIMA recipe
+//! that preserves the moment match (`⌈q/p⌉` block moments for `p` inputs,
+//! `q` moments in the single-input case) while keeping the projection
+//! numerically tame.
+//!
+//! The expensive part is `q` solves against `G`, which go through the same
+//! pluggable dense/banded [`SolverBackend`] as every other analysis: on a
+//! ladder-shaped circuit the whole reduction is `O(n·b²) + q·O(n·b)` — no
+//! dense `n × n` matrix is ever formed.
+
+use rlckit_circuit::state_space::DescriptorStateSpace;
+use rlckit_numeric::matrix::Matrix;
+use rlckit_numeric::orth::{dot, OrthoBuilder};
+use rlckit_numeric::solver::SolverBackend;
+
+use crate::error::ReduceError;
+use crate::rom::ReducedSystem;
+
+/// Options controlling a PRIMA reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionOptions {
+    /// Target reduction order `q` (number of basis vectors).
+    pub order: usize,
+    /// Solver backend for the `G` factorisation (default
+    /// [`SolverBackend::Auto`]: banded for ladder-shaped systems).
+    pub backend: SolverBackend,
+    /// Relative deflation tolerance of the Gram–Schmidt step.
+    pub deflation_tol: f64,
+}
+
+impl ReductionOptions {
+    /// Options for an order-`q` reduction with automatic backend selection.
+    pub fn new(order: usize) -> Self {
+        Self { order, backend: SolverBackend::Auto, deflation_tol: 1e-10 }
+    }
+
+    /// Returns a copy with the given solver backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    fn validate(&self, dim: usize) -> Result<(), ReduceError> {
+        if self.order == 0 {
+            return Err(ReduceError::InvalidOrder {
+                order: 0,
+                reason: "reduction order must be at least 1",
+            });
+        }
+        if self.order > dim {
+            return Err(ReduceError::InvalidOrder {
+                order: self.order,
+                reason: "reduction order exceeds the full system dimension",
+            });
+        }
+        if !self.deflation_tol.is_finite() || !(self.deflation_tol > 0.0) {
+            return Err(ReduceError::NonFinite {
+                what: "deflation tolerance",
+                value: self.deflation_tol,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Reduces a descriptor system to order ≤ `options.order` by block-Arnoldi
+/// congruence projection.
+///
+/// The achieved order can be smaller than requested when the Krylov space
+/// is exhausted (every candidate of a block deflates) — query it with
+/// [`ReducedSystem::order`].
+///
+/// # Errors
+///
+/// Returns [`ReduceError::InvalidOrder`] / [`ReduceError::NonFinite`] for
+/// bad options — including an order smaller than the input count, which
+/// would silently leave some inputs with *zero* Krylov content (their
+/// transfer functions would reduce to garbage, not merely low accuracy) —
+/// [`ReduceError::Breakdown`] if the starting block deflates entirely or a
+/// solve produces non-finite values, and propagates circuit errors from the
+/// `G` factorisation.
+pub fn prima(
+    ss: &DescriptorStateSpace,
+    options: &ReductionOptions,
+) -> Result<ReducedSystem, ReduceError> {
+    options.validate(ss.dim())?;
+    if options.order < ss.input_count() {
+        return Err(ReduceError::InvalidOrder {
+            order: options.order,
+            reason: "reduction order must be at least the input count \
+                     (every B column needs Krylov content)",
+        });
+    }
+    let factor = ss.factor_g(options.backend)?;
+    let mut builder = OrthoBuilder::new(ss.dim(), options.deflation_tol);
+
+    // Starting block: R = G⁻¹B, one candidate per input.
+    let mut block: Vec<Vec<f64>> = Vec::new();
+    for j in 0..ss.input_count() {
+        if builder.len() == options.order {
+            break;
+        }
+        let r = finite_solve(&factor, ss.input_column(j))?;
+        if builder.push(&r) {
+            block.push(builder.columns().last().expect("vector just accepted").clone());
+        }
+    }
+    if builder.is_empty() {
+        return Err(ReduceError::Breakdown { stage: "starting Krylov block deflated" });
+    }
+
+    // Arnoldi recursion: next block = A·(previous block), orthogonalized.
+    while builder.len() < options.order && !block.is_empty() {
+        let mut next = Vec::new();
+        for v in &block {
+            if builder.len() == options.order {
+                break;
+            }
+            let w = finite_solve(&factor, &ss.apply_c(v))?;
+            if builder.push(&w) {
+                next.push(builder.columns().last().expect("vector just accepted").clone());
+            }
+        }
+        block = next;
+    }
+
+    // Congruence projection through the stamp-level mat-vecs — in the
+    // PRIMA sign convention: the branch-current equation rows (inductor and
+    // source branches, appended after the node rows) are negated, which
+    // turns the storage matrix into `diag(C, +L) ⪰ 0` and the conductance
+    // matrix into "semidefinite plus skew". Row scaling cancels inside
+    // `G⁻¹C`, so the Krylov space above is untouched, but projecting the
+    // *signed* matrices is what makes the reduced model provably stable —
+    // the symmetric (−L) form can and does produce spurious right-half-
+    // plane poles.
+    let flip_from = ss.mna().node_unknowns();
+    let flip = |mut y: Vec<f64>| -> Vec<f64> {
+        for x in &mut y[flip_from..] {
+            *x = -*x;
+        }
+        y
+    };
+    let v = builder.columns();
+    let q = v.len();
+    let mut gr = Matrix::zeros(q, q);
+    let mut cr = Matrix::zeros(q, q);
+    for j in 0..q {
+        let gv = flip(ss.apply_g(&v[j]));
+        let cv = flip(ss.apply_c(&v[j]));
+        for i in 0..q {
+            gr[(i, j)] = dot(&v[i], &gv);
+            cr[(i, j)] = dot(&v[i], &cv);
+        }
+    }
+    let mut br = Matrix::zeros(q, ss.input_count());
+    for j in 0..ss.input_count() {
+        let b = flip(ss.input_column(j).to_vec());
+        for i in 0..q {
+            br[(i, j)] = dot(&v[i], &b);
+        }
+    }
+    let mut lr = Matrix::zeros(q, ss.output_count());
+    for k in 0..ss.output_count() {
+        let l = ss.output_column(k);
+        for i in 0..q {
+            lr[(i, k)] = dot(&v[i], l);
+        }
+    }
+    ReducedSystem::new(gr, cr, br, lr)
+}
+
+fn finite_solve(
+    factor: &rlckit_circuit::solve::FactoredMna<f64>,
+    rhs: &[f64],
+) -> Result<Vec<f64>, ReduceError> {
+    let x = factor.solve(rhs);
+    if x.iter().all(|v| v.is_finite()) {
+        Ok(x)
+    } else {
+        Err(ReduceError::Breakdown { stage: "Krylov solve produced non-finite values" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlckit_circuit::source::SourceWaveform;
+    use rlckit_circuit::{Circuit, NodeId, SourceId};
+    use rlckit_units::{Capacitance, Inductance, Resistance};
+
+    fn rlc_chain(segments: usize) -> (Circuit, SourceId, NodeId) {
+        let mut c = Circuit::new();
+        let gnd = c.ground();
+        let input = c.add_node();
+        let src = c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        let mut prev = input;
+        for _ in 0..segments {
+            let mid = c.add_node();
+            let next = c.add_node();
+            c.add_resistor(prev, mid, Resistance::from_ohms(12.0)).unwrap();
+            c.add_inductor(mid, next, Inductance::from_picohenries(80.0)).unwrap();
+            c.add_capacitor(next, gnd, Capacitance::from_femtofarads(25.0)).unwrap();
+            prev = next;
+        }
+        (c, src, prev)
+    }
+
+    fn state_space(segments: usize) -> DescriptorStateSpace {
+        let (c, src, out) = rlc_chain(segments);
+        DescriptorStateSpace::new(&c, &[src], &[out]).unwrap()
+    }
+
+    #[test]
+    fn order_and_dc_gain_are_preserved() {
+        let ss = state_space(20);
+        let sys = prima(&ss, &ReductionOptions::new(6)).unwrap();
+        assert_eq!(sys.order(), 6);
+        assert_eq!(sys.input_count(), 1);
+        assert_eq!(sys.output_count(), 1);
+        // m₀ of the reduction equals the full DC gain (= 1 for the chain).
+        let m = sys.moments(0, 0, 1).unwrap();
+        assert!((m[0] - 1.0).abs() < 1e-6, "reduced DC gain {}", m[0]);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let ss = state_space(3);
+        assert!(matches!(
+            prima(&ss, &ReductionOptions::new(0)),
+            Err(ReduceError::InvalidOrder { .. })
+        ));
+        assert!(matches!(
+            prima(&ss, &ReductionOptions::new(10_000)),
+            Err(ReduceError::InvalidOrder { .. })
+        ));
+        let mut bad = ReductionOptions::new(2);
+        bad.deflation_tol = f64::NAN;
+        assert!(matches!(prima(&ss, &bad), Err(ReduceError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn order_below_the_input_count_is_rejected() {
+        // Regression: a MIMO reduction whose order is smaller than the input
+        // count used to succeed with zero Krylov content for the dropped
+        // inputs — their transfer functions came out wildly wrong as `Ok`.
+        let (mut c, src1, out) = rlc_chain(4);
+        let gnd = c.ground();
+        let extra = c.add_node();
+        let src2 = c.add_voltage_source(extra, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(extra, out, Resistance::from_ohms(100.0)).unwrap();
+        let ss = DescriptorStateSpace::new(&c, &[src1, src2], &[out]).unwrap();
+        assert_eq!(ss.input_count(), 2);
+        assert!(matches!(
+            prima(&ss, &ReductionOptions::new(1)),
+            Err(ReduceError::InvalidOrder { order: 1, .. })
+        ));
+        // At order == input count every input gets its starting vector.
+        let sys = prima(&ss, &ReductionOptions::new(2)).unwrap();
+        let m0 = sys.moments(0, 1, 1).unwrap()[0];
+        assert!(m0.abs() > 1e-3, "second input must carry Krylov content, m0 = {m0}");
+    }
+
+    #[test]
+    fn dense_and_banded_backends_agree() {
+        let ss = state_space(25);
+        let dense =
+            prima(&ss, &ReductionOptions::new(8).with_backend(SolverBackend::Dense)).unwrap();
+        let banded =
+            prima(&ss, &ReductionOptions::new(8).with_backend(SolverBackend::Banded)).unwrap();
+        let md = dense.moments(0, 0, 8).unwrap();
+        let mb = banded.moments(0, 0, 8).unwrap();
+        for (d, b) in md.iter().zip(mb.iter()) {
+            assert!((d - b).abs() <= 1e-9 * d.abs().max(1e-300), "dense moment {d} vs banded {b}");
+        }
+    }
+
+    #[test]
+    fn krylov_exhaustion_truncates_the_order() {
+        // A 1-segment chain has a tiny state space; asking for the full
+        // dimension must still succeed with q ≤ dim and no breakdown.
+        let ss = state_space(1);
+        let sys = prima(&ss, &ReductionOptions::new(ss.dim())).unwrap();
+        assert!(sys.order() >= 1 && sys.order() <= ss.dim());
+    }
+}

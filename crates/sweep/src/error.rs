@@ -62,9 +62,11 @@ macro_rules! from_model_error {
 }
 
 from_model_error!(
+    rlckit_circuit::CircuitError,
     rlckit_core::CoreError,
     rlckit_coupling::CouplingError,
     rlckit_interconnect::error::InterconnectError,
+    rlckit_reduce::ReduceError,
     rlckit_repeater::RepeaterError,
 );
 

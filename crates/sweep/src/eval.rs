@@ -8,6 +8,8 @@
 //! interior mutability): the executor calls them from worker threads and the
 //! cache assumes a scenario always produces the same row.
 
+use rlckit_circuit::ladder::{measure_step_delay, LadderSpec};
+use rlckit_circuit::SolverBackend;
 use rlckit_core::load::GateRlcLoad;
 use rlckit_core::model::propagation_delay;
 use rlckit_core::rc_models;
@@ -16,6 +18,7 @@ use rlckit_coupling::crosstalk::crosstalk_metrics;
 use rlckit_coupling::netlist::BusDrive;
 use rlckit_coupling::repeater::evaluate_bus_repeaters;
 use rlckit_interconnect::{DistributedLine, Technology};
+use rlckit_reduce::reduce_ladder;
 use rlckit_repeater::comparison;
 use rlckit_repeater::RepeaterProblem;
 use rlckit_units::{CapacitancePerLength, InductancePerLength, Length, ResistancePerLength};
@@ -87,6 +90,24 @@ pub fn scenario_bus(s: &Scenario) -> Result<CoupledBus, SweepError> {
         length: Length::from_millimeters(s.line_length_mm),
     };
     Ok(if s.shielded { spec.build_shielded()? } else { spec.build()? })
+}
+
+/// Builds the scenario's single-line ladder specification: the scenario wire
+/// driven by the size-`h` buffer, discretised into `ladder_sections`
+/// π-segments per millimetre-independent section count.
+pub fn scenario_ladder_spec(s: &Scenario) -> Result<LadderSpec, SweepError> {
+    let tech = s.technology.technology();
+    let line = scenario_line(s)?;
+    let mut spec = LadderSpec::new(
+        line.total_resistance(),
+        line.total_inductance(),
+        line.total_capacitance(),
+        tech.buffer_resistance(s.driver_size)?,
+        tech.buffer_capacitance(s.driver_size)?,
+    );
+    spec.segments = s.ladder_sections.max(1);
+    spec.supply = tech.supply;
+    Ok(spec)
 }
 
 fn scenario_drive(s: &Scenario) -> Result<(Technology, BusDrive), SweepError> {
@@ -216,6 +237,50 @@ impl Evaluator for RepeaterDesignPointEvaluator {
             problem.repeater_area(&design).square_micrometers(),
             problem.switching_energy(&design).joules() * 1e15,
             100.0 * (delay - opt) / opt,
+        ])
+    }
+}
+
+/// Reduced-order delay evaluation (`rlckit-reduce`): the order-`q` PRIMA
+/// model's closed-form `delay_50`/overshoot/settling against the full
+/// transient simulation of the same ladder — the accuracy-vs-order story
+/// behind `FIG_mor_accuracy_vs_order.csv` and the speed story behind
+/// `BENCH_mor.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReducedDelayEvaluator;
+
+impl Evaluator for ReducedDelayEvaluator {
+    fn name(&self) -> &'static str {
+        "reduced_delay"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "order",
+            "reduced_delay_ps",
+            "transient_delay_ps",
+            "delay_error_pct",
+            "reduced_overshoot_pct",
+            "transient_overshoot_pct",
+            "settling_ps",
+        ]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let spec = scenario_ladder_spec(s)?;
+        let reduced = reduce_ladder(&spec, s.reduction_order, SolverBackend::Auto)?;
+        let metrics = reduced.metrics()?;
+        let full = measure_step_delay(&spec)?;
+        let fast = metrics.delay_50.picoseconds();
+        let reference = full.delay_50.picoseconds();
+        Ok(vec![
+            s.reduction_order as f64,
+            fast,
+            reference,
+            100.0 * (fast - reference).abs() / reference,
+            metrics.overshoot_percent,
+            full.overshoot_percent,
+            metrics.settling_time.picoseconds(),
         ])
     }
 }
@@ -406,6 +471,35 @@ mod tests {
         assert!(odd > isolated && isolated > even, "odd {odd} / iso {isolated} / even {even}");
         assert!(row[5] > 0.0, "push-out percentage must be positive");
         assert!(row[6] > 0.0 && row[6] < 1.0, "noise fraction in (0, 1)");
+    }
+
+    #[test]
+    fn reduced_delay_tracks_the_transient_at_moderate_order() {
+        // Coarse ladder + q = 6 keeps the debug-profile cost of the
+        // reference transient small; the reduced delay must sit within a
+        // few per cent of it and the error column must be consistent. The
+        // wire overrides pin the paper's RLC regime (R = 500 Ω, 10 nH,
+        // 1 pF): on nearly lossless tech wires the delay is wave-dominated
+        // and converges slowly in `q` — a documented MOR limitation, not
+        // what this test is about.
+        let s = Scenario {
+            line_length_mm: 5.0,
+            resistance_ohm_per_mm: Some(100.0),
+            inductance_nh_per_mm: Some(2.0),
+            capacitance_ff_per_um: Some(0.2),
+            ladder_sections: 10,
+            reduction_order: 6,
+            ..Scenario::default()
+        };
+        let eval = ReducedDelayEvaluator;
+        let row = eval.evaluate(&s).unwrap();
+        assert_eq!(row.len(), eval.columns().len());
+        assert_eq!(row[0], 6.0, "order column echoes the scenario");
+        let (fast, reference, err_pct) = (row[1], row[2], row[3]);
+        assert!(fast > 0.0 && reference > 0.0);
+        assert!(err_pct < 3.0, "order-6 delay error {err_pct}% too large");
+        assert!((err_pct - 100.0 * (fast - reference).abs() / reference).abs() < 1e-9);
+        assert!(row[6] > fast, "settling time must exceed the 50% delay");
     }
 
     #[test]

@@ -22,7 +22,9 @@
 use std::path::Path;
 
 use crate::error::SweepError;
-use crate::eval::{BusCrosstalkEvaluator, DelayModelEvaluator, RepeaterOptimumEvaluator};
+use crate::eval::{
+    BusCrosstalkEvaluator, DelayModelEvaluator, ReducedDelayEvaluator, RepeaterOptimumEvaluator,
+};
 use crate::exec::{run_sweep, SweepOptions, SweepResult};
 use crate::scenario::{Param, Scenario, TechnologyNode};
 use crate::sink::CsvSink;
@@ -40,7 +42,7 @@ pub struct Figure {
 }
 
 /// The committed figure datasets, in pipeline order.
-pub const FIGURES: [Figure; 3] = [
+pub const FIGURES: [Figure; 4] = [
     Figure {
         name: "delay_error_surface",
         file: "FIG_delay_error_surface.csv",
@@ -55,6 +57,11 @@ pub const FIGURES: [Figure; 3] = [
         name: "bus_worst_case_pushout",
         file: "FIG_bus_worst_case_pushout.csv",
         description: "coupled-bus worst-case delay push-out vs pitch, with and without shields",
+    },
+    Figure {
+        name: "mor_accuracy_vs_order",
+        file: "FIG_mor_accuracy_vs_order.csv",
+        description: "reduced-order delay/overshoot error vs Krylov order, against the transient",
     },
 ];
 
@@ -138,6 +145,46 @@ pub fn bus_worst_case_pushout(options: &SweepOptions) -> Result<SweepResult, Swe
     Ok(result)
 }
 
+/// The sweep behind `FIG_mor_accuracy_vs_order.csv`: the PRIMA reduction of
+/// the paper's driven line at growing Krylov order `q`, each cell comparing
+/// the closed-form reduced `delay_50`/overshoot against the full transient
+/// of the same ladder (the accuracy half of the MOR story; `BENCH_mor.json`
+/// is the speed half).
+pub fn mor_accuracy_vs_order_spec() -> SweepSpec {
+    // The paper's Fig. 1 line (R = 500 Ω, L = 10 nH, C = 1 pF over 10 mm)
+    // via explicit overrides: a representative RLC regime where the MOR
+    // error-vs-order story is clean. Nearly lossless tech wires are wave-
+    // dominated and converge slowly in `q` — a separate (documented) story.
+    let base = Scenario {
+        resistance_ohm_per_mm: Some(50.0),
+        inductance_nh_per_mm: Some(1.0),
+        capacitance_ff_per_um: Some(0.1),
+        ladder_sections: 24,
+        ..Scenario::default()
+    };
+    // q starts at 2 — the paper's own two-pole order. An order-1 congruence
+    // projection of an RLC pencil is degenerate (the lone basis vector can
+    // make vᵀG'v ≈ 0, a spurious near-zero pole), so it carries no signal.
+    SweepSpec::new(base).axis(Axis::new("q", [2usize, 3, 4, 6, 8, 10].map(Param::ReductionOrder)))
+}
+
+/// Builds the MOR accuracy-vs-order dataset (one transient reference per
+/// cell; seconds in release mode).
+///
+/// # Errors
+///
+/// Propagates sweep/spec errors and the first reduction or simulation
+/// failure, if any.
+pub fn mor_accuracy_vs_order(options: &SweepOptions) -> Result<SweepResult, SweepError> {
+    let result = run_sweep(&mor_accuracy_vs_order_spec(), &ReducedDelayEvaluator, options)?;
+    if let Some((index, error)) = result.first_error() {
+        return Err(SweepError::Evaluation {
+            reason: format!("MOR figure cell {index} failed: {error}"),
+        });
+    }
+    Ok(result)
+}
+
 /// Builds every figure dataset, in [`FIGURES`] order.
 ///
 /// # Errors
@@ -148,6 +195,7 @@ pub fn build_all(options: &SweepOptions) -> Result<Vec<(Figure, SweepResult)>, S
         (FIGURES[0], delay_error_surface(options)?),
         (FIGURES[1], repeater_optimum_vs_inductance(options)?),
         (FIGURES[2], bus_worst_case_pushout(options)?),
+        (FIGURES[3], mor_accuracy_vs_order(options)?),
     ])
 }
 
@@ -218,7 +266,8 @@ mod tests {
         assert_eq!(delay_error_surface_spec().len(), 30);
         assert_eq!(repeater_optimum_vs_inductance_spec().len(), 11);
         assert_eq!(bus_worst_case_pushout_spec().len(), 8);
-        assert_eq!(FIGURES.len(), 3);
+        assert_eq!(mor_accuracy_vs_order_spec().len(), 6);
+        assert_eq!(FIGURES.len(), 4);
     }
 
     #[test]
@@ -232,7 +281,7 @@ mod tests {
             std::env::temp_dir().join(format!("rlckit-sweep-figcheck-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let drifted = check_all(&SweepOptions::default(), &dir).unwrap();
-        assert_eq!(drifted.len(), 3);
+        assert_eq!(drifted.len(), 4);
         // Writing then re-checking must be clean.
         write_all(&SweepOptions::default(), &dir).unwrap();
         let drifted = check_all(&SweepOptions::default(), &dir).unwrap();

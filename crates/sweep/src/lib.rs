@@ -55,7 +55,7 @@ pub use cache::{cache_key, SweepCache};
 pub use error::SweepError;
 pub use eval::{
     BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
-    RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
+    ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
 };
 pub use exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult, SweepRow};
 pub use scenario::{Param, Scenario, TechnologyNode};
@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::cache::SweepCache;
     pub use crate::eval::{
         BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
-        RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
+        ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
     };
     pub use crate::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
     pub use crate::scenario::{Param, Scenario, TechnologyNode};

@@ -85,6 +85,8 @@ pub struct Scenario {
     pub shielded: bool,
     /// π-sections per conductor used by the transient bus evaluators.
     pub ladder_sections: usize,
+    /// Krylov reduction order `q` used by the reduced-order evaluators.
+    pub reduction_order: usize,
 }
 
 impl Default for Scenario {
@@ -104,6 +106,7 @@ impl Default for Scenario {
             inductive_coupling: 0.35,
             shielded: false,
             ladder_sections: 8,
+            reduction_order: 8,
         }
     }
 }
@@ -124,6 +127,7 @@ impl Scenario {
             Param::InductiveCoupling(v) => self.inductive_coupling = v,
             Param::Shielded(v) => self.shielded = v,
             Param::LadderSections(v) => self.ladder_sections = v,
+            Param::ReductionOrder(v) => self.reduction_order = v,
         }
     }
 
@@ -141,6 +145,7 @@ impl Scenario {
         h.write_f64(self.inductive_coupling);
         h.write_u8(u8::from(self.shielded));
         h.write_u64(self.ladder_sections as u64);
+        h.write_u64(self.reduction_order as u64);
     }
 }
 
@@ -171,6 +176,8 @@ pub enum Param {
     Shielded(bool),
     /// Transient discretisation: π-sections per conductor.
     LadderSections(usize),
+    /// Krylov reduction order `q` for the reduced-order evaluators.
+    ReductionOrder(usize),
 }
 
 impl Param {
@@ -187,7 +194,9 @@ impl Param {
             | Self::Sections(v)
             | Self::CouplingCapFfPerUm(v)
             | Self::InductiveCoupling(v) => format!("{v}"),
-            Self::BusLines(v) | Self::LadderSections(v) => format!("{v}"),
+            Self::BusLines(v) | Self::LadderSections(v) | Self::ReductionOrder(v) => {
+                format!("{v}")
+            }
             Self::Shielded(v) => format!("{v}"),
         }
     }
@@ -265,6 +274,7 @@ mod tests {
             Param::InductiveCoupling(0.2),
             Param::Shielded(true),
             Param::LadderSections(12),
+            Param::ReductionOrder(6),
         ] {
             s.apply(&p);
         }
@@ -280,6 +290,7 @@ mod tests {
         assert_eq!(s.inductive_coupling, 0.2);
         assert!(s.shielded);
         assert_eq!(s.ladder_sections, 12);
+        assert_eq!(s.reduction_order, 6);
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub use rlckit_core as model;
 pub use rlckit_coupling as coupling;
 pub use rlckit_interconnect as interconnect;
 pub use rlckit_numeric as numeric;
+pub use rlckit_reduce as reduce;
 pub use rlckit_repeater as repeater;
 pub use rlckit_sweep as sweep;
 pub use rlckit_units as units;
@@ -27,12 +28,16 @@ pub mod prelude {
     pub use rlckit_interconnect::technology::Technology;
     pub use rlckit_interconnect::twoport::DrivenLine;
     pub use rlckit_interconnect::DistributedLine;
+    pub use rlckit_reduce::{
+        prima, reduce_bus, reduce_ladder, PoleResidueModel, ReducedBus, ReducedLadder,
+        ReductionOptions, StepMetrics,
+    };
     pub use rlckit_repeater::design::{DesignStrategy, RepeaterDesigner};
     pub use rlckit_repeater::RepeaterProblem;
     pub use rlckit_sweep::cache::SweepCache;
     pub use rlckit_sweep::eval::{
         BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
-        RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
+        ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
     };
     pub use rlckit_sweep::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
     pub use rlckit_sweep::scenario::{Param, Scenario, TechnologyNode};
