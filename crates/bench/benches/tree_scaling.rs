@@ -1,0 +1,153 @@
+//! Sparse vs dense (and banded) solver scaling on branching RLC trees.
+//!
+//! Tree-shaped MNA systems are the workload the banded kernel cannot help
+//! with: under any ordering their bandwidth grows with the fan-out, so band
+//! storage degenerates toward a dense matrix while the actual pattern stays
+//! `O(n)` sparse. This bench builds symmetric routing trees of growing size,
+//! times a fixed 200-step transient run under each forced backend, and
+//! writes the measurements — including the dense/sparse speedup per size —
+//! into the perf trajectory as `BENCH_tree.json`.
+//!
+//! The dense and banded kernels are only swept while the MNA dimension stays
+//! below [`FULL_KERNEL_DIM_LIMIT`]: beyond that a single dense factorisation
+//! takes many seconds, which is exactly the point.
+//!
+//! Run with `cargo bench -p rlckit-bench --bench tree_scaling`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use rlckit_bench::report::{smoke_or, PerfReport};
+use rlckit_circuit::mna::MnaSystem;
+use rlckit_circuit::transient::{run_transient, TransientOptions};
+use rlckit_circuit::tree::TreeSpec;
+use rlckit_circuit::SolverBackend;
+use rlckit_interconnect::{DistributedLine, RoutingTree};
+use rlckit_units::{
+    Capacitance, CapacitancePerLength, InductancePerLength, Length, Resistance,
+    ResistancePerLength, Time, Voltage,
+};
+
+/// Tree shapes swept: `(levels, fanout, segments per branch)`. Smoke mode
+/// (`RLCKIT_BENCH_SMOKE`) keeps the two cheapest shapes, whose record labels
+/// are a strict subset of the full run's.
+fn shapes() -> Vec<(usize, usize, usize)> {
+    smoke_or(
+        vec![(3, 2, 4), (3, 3, 8)],
+        vec![(3, 2, 4), (3, 3, 8), (4, 3, 9), (4, 4, 8), (5, 4, 8)],
+    )
+}
+
+/// Largest MNA dimension the dense and banded kernels are still timed at.
+const FULL_KERNEL_DIM_LIMIT: usize = 1300;
+
+/// The paper's Fig. 1 electrical regime as the root-to-sink path: 10 mm of
+/// 50 Ω/mm, 1 nH/mm, 0.1 fF/µm wire behind a 250 Ω driver.
+fn tree_spec(levels: usize, fanout: usize, segments: usize) -> TreeSpec {
+    let path = DistributedLine::new(
+        ResistancePerLength::from_ohms_per_millimeter(50.0),
+        InductancePerLength::from_nanohenries_per_millimeter(1.0),
+        CapacitancePerLength::from_femtofarads_per_micrometer(0.1),
+        Length::from_millimeters(10.0),
+    )
+    .expect("paper line parameters are valid");
+    let tree = RoutingTree::symmetric(&path, levels, fanout, Capacitance::from_femtofarads(50.0))
+        .expect("bench tree shapes are valid");
+    tree.to_tree_spec(Resistance::from_ohms(250.0), Voltage::from_volts(1.0), segments)
+        .expect("bench trees lower to circuit specs")
+}
+
+/// MNA dimension of a shape — the "node count" the records are labelled by.
+fn mna_dim(spec: &TreeSpec) -> usize {
+    let net = spec.build().expect("bench tree builds");
+    MnaSystem::build(&net.circuit).expect("bench tree assembles").dim()
+}
+
+/// A fixed 200-step horizon so every size pays one factorisation plus the
+/// same number of substitutions.
+fn options(backend: SolverBackend) -> TransientOptions {
+    TransientOptions::new(Time::from_picoseconds(200.0), Time::from_picoseconds(1.0))
+        .with_backend(backend)
+}
+
+fn time_one(spec: &TreeSpec, backend: SolverBackend) -> f64 {
+    let net = spec.build().expect("bench tree builds");
+    let opts = options(backend);
+    let start = Instant::now();
+    let result = run_transient(black_box(&net.circuit), &opts).expect("simulates");
+    let elapsed = start.elapsed().as_secs_f64();
+    black_box(result.len());
+    elapsed
+}
+
+fn bench_tree_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_scaling");
+    group.sample_size(smoke_or(2, 10));
+    for (levels, fanout, segments) in shapes() {
+        let spec = tree_spec(levels, fanout, segments);
+        let dim = mna_dim(&spec);
+        group.bench_with_input(BenchmarkId::new("sparse", dim), &spec, |b, spec| {
+            let net = spec.build().expect("bench tree builds");
+            let opts = options(SolverBackend::Sparse);
+            b.iter(|| run_transient(black_box(&net.circuit), &opts).expect("simulates"))
+        });
+        if dim <= FULL_KERNEL_DIM_LIMIT {
+            group.bench_with_input(BenchmarkId::new("dense", dim), &spec, |b, spec| {
+                let net = spec.build().expect("bench tree builds");
+                let opts = options(SolverBackend::Dense);
+                b.iter(|| run_transient(black_box(&net.circuit), &opts).expect("simulates"))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// One timed pass per configuration, written to `BENCH_tree.json`.
+///
+/// Criterion's own numbers stay on stdout; this single-shot sweep is what the
+/// perf trajectory records.
+fn write_perf_trajectory() {
+    let mut report = PerfReport::new("tree");
+    for (levels, fanout, segments) in shapes() {
+        let spec = tree_spec(levels, fanout, segments);
+        let dim = mna_dim(&spec);
+        report.push(format!("nodes/{dim}"), dim as f64, "count");
+        report.push(format!("branches/{dim}"), spec.branches.len() as f64, "count");
+        let sparse = time_one(&spec, SolverBackend::Sparse);
+        report.push(format!("sparse/{dim}"), sparse, "seconds");
+        if dim <= FULL_KERNEL_DIM_LIMIT {
+            let dense = time_one(&spec, SolverBackend::Dense);
+            let banded = time_one(&spec, SolverBackend::Banded);
+            let speedup = dense / sparse;
+            report.push(format!("dense/{dim}"), dense, "seconds");
+            report.push(format!("banded/{dim}"), banded, "seconds");
+            report.push(format!("speedup/{dim}"), speedup, "x");
+            report.push(format!("speedup_vs_banded/{dim}"), banded / sparse, "x");
+            println!(
+                "{dim:>5} unknowns ({levels} levels x {fanout} fanout): sparse {sparse:.4} s, \
+                 dense {dense:.4} s, banded {banded:.4} s, dense/sparse speedup {speedup:.1}x"
+            );
+        } else {
+            println!(
+                "{dim:>5} unknowns ({levels} levels x {fanout} fanout): sparse {sparse:.4} s \
+                 (dense and banded skipped)"
+            );
+        }
+    }
+    // The bench process runs with the package directory as CWD; anchor the
+    // trajectory file at the workspace root where the other BENCH_*.json live.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match report.write(&root) {
+        Ok(path) => println!("perf trajectory written to {}", path.display()),
+        Err(e) => eprintln!("could not write perf trajectory: {e}"),
+    }
+}
+
+fn bench_with_trajectory(c: &mut Criterion) {
+    bench_tree_scaling(c);
+    write_perf_trajectory();
+}
+
+criterion_group!(benches, bench_with_trajectory);
+criterion_main!(benches);

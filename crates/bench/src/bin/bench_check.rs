@@ -1,0 +1,74 @@
+//! The bench-regression gate binary: diff freshly generated `BENCH_*.json`
+//! trajectories against their committed baselines.
+//!
+//! ```text
+//! bench-check --baseline <dir> --fresh <dir> [--tolerance <factor>]
+//! ```
+//!
+//! Exits non-zero when any structural or numeric violation is found (see
+//! `rlckit_bench::check` for the contract). CI copies the committed
+//! trajectories aside, reruns the benches in smoke mode and points this
+//! binary at both directories.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rlckit_bench::check::{check_directories, render_violations, DEFAULT_TOLERANCE};
+
+fn main() -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--fresh" => fresh = Some(PathBuf::from(value("--fresh"))),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                match raw.parse::<f64>() {
+                    Ok(t) if t > 1.0 && t.is_finite() => tolerance = t,
+                    _ => {
+                        eprintln!("--tolerance must be a finite factor > 1, got {raw:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench-check --baseline <dir> --fresh <dir> [--tolerance <x>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
+        eprintln!("usage: bench-check --baseline <dir> --fresh <dir> [--tolerance <x>]");
+        return ExitCode::from(2);
+    };
+
+    match check_directories(&baseline, &fresh, tolerance) {
+        Ok(violations) if violations.is_empty() => {
+            println!(
+                "bench-regression gate: OK ({} vs {}, tolerance {tolerance}x)",
+                baseline.display(),
+                fresh.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprint!("{}", render_violations(&violations));
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench-regression gate: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! The bench-regression gate: structural and numeric comparison of
+//! `BENCH_*.json` perf trajectories.
+//!
+//! CI regenerates every trajectory in smoke mode (`RLCKIT_BENCH_SMOKE=1`,
+//! shrunk sweeps over the *cheapest prefix* of each bench's full parameter
+//! set) and diffs the fresh files against the committed full-run baselines
+//! with [`compare_reports`]:
+//!
+//! * **structure is exact** — the top-level schema, the per-record keys and
+//!   the units must match; every fresh record name must exist in the
+//!   baseline (a rename or a new metric fails until the baseline is
+//!   recommitted) and every baseline metric *family* (the `name` prefix
+//!   before `/`) must still be produced (a silently deleted writer fails);
+//! * **numbers are sane** — every value must be finite, non-null and of the
+//!   same sign as its baseline, and where the same record exists on both
+//!   sides the magnitudes must agree within a *generous* ratio tolerance.
+//!   Smoke runs repeat the same workloads as the full run at the shared
+//!   sizes, so the tolerance only needs to absorb machine and load noise —
+//!   not orders of magnitude: a unit mix-up (ps vs s), a zeroed metric or a
+//!   catastrophic slowdown all land far outside it.
+//!
+//! The comparison is a plain function over parsed reports so the failure
+//! modes are unit-testable; the `bench-check` binary wires it to
+//! directories.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Default ratio tolerance: fresh/baseline magnitude may differ by up to
+/// this factor either way. Generous on purpose — the gate exists to catch
+/// structural rot and order-of-magnitude regressions, not scheduler noise.
+pub const DEFAULT_TOLERANCE: f64 = 100.0;
+
+/// A minimal JSON value — just enough to audit the flat trajectory format.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+/// One `{"name": …, "value": …, "unit": …}` record of a parsed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRecord {
+    /// Metric name (`"sparse/1082"`).
+    pub name: String,
+    /// Measured value; `None` for JSON `null` (a non-finite measurement).
+    pub value: Option<f64>,
+    /// Unit string (`"seconds"`, `"x"`, `"count"`, …).
+    pub unit: String,
+}
+
+impl ParsedRecord {
+    /// The metric family: the name up to the first `/` (the whole name when
+    /// there is no `/`). `"sparse/1082"` → `"sparse"`.
+    pub fn family(&self) -> &str {
+        self.name.split('/').next().unwrap_or(&self.name)
+    }
+}
+
+/// A parsed `BENCH_*.json` trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedReport {
+    /// The bench name from the `"bench"` field.
+    pub bench: String,
+    /// The records, in file order.
+    pub records: Vec<ParsedRecord>,
+}
+
+/// Parses the flat trajectory format, rejecting any structural deviation
+/// (unknown keys, missing keys, wrong value types).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural problem.
+pub fn parse_report(text: &str) -> Result<ParsedReport, String> {
+    let json = parse_json(text)?;
+    let Json::Object(fields) = &json else {
+        return Err("top level must be a JSON object".to_owned());
+    };
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    if keys != ["bench", "results"] {
+        return Err(format!("top-level keys must be [bench, results], got {keys:?}"));
+    }
+    let Json::String(bench) = &fields[0].1 else {
+        return Err("\"bench\" must be a string".to_owned());
+    };
+    let Json::Array(items) = &fields[1].1 else {
+        return Err("\"results\" must be an array".to_owned());
+    };
+    let mut records = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let Json::Object(fields) = item else {
+            return Err(format!("result {i} must be an object"));
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        if keys != ["name", "value", "unit"] {
+            return Err(format!("result {i} keys must be [name, value, unit], got {keys:?}"));
+        }
+        let Json::String(name) = &fields[0].1 else {
+            return Err(format!("result {i}: \"name\" must be a string"));
+        };
+        let value = match &fields[1].1 {
+            Json::Number(v) => Some(*v),
+            Json::Null => None,
+            other => return Err(format!("result {i}: \"value\" must be a number, got {other:?}")),
+        };
+        let Json::String(unit) = &fields[2].1 else {
+            return Err(format!("result {i}: \"unit\" must be a string"));
+        };
+        records.push(ParsedRecord { name: name.clone(), value, unit: unit.clone() });
+    }
+    Ok(ParsedReport { bench: bench.clone(), records })
+}
+
+/// Compares a fresh (smoke-run) report against its committed baseline.
+///
+/// Returns one message per violation; an empty vector means the gate passes.
+pub fn compare_reports(
+    baseline: &ParsedReport,
+    fresh: &ParsedReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if baseline.bench != fresh.bench {
+        violations
+            .push(format!("bench renamed: baseline {:?}, fresh {:?}", baseline.bench, fresh.bench));
+    }
+
+    // Every fresh record must exist in the baseline, with the same unit.
+    for record in &fresh.records {
+        match baseline.records.iter().find(|b| b.name == record.name) {
+            None => violations.push(format!(
+                "metric {:?} is not in the committed baseline (renamed or added without \
+                 recommitting the full-run trajectory)",
+                record.name
+            )),
+            Some(base) => {
+                if base.unit != record.unit {
+                    violations.push(format!(
+                        "metric {:?} changed unit: baseline {:?}, fresh {:?}",
+                        record.name, base.unit, record.unit
+                    ));
+                }
+                check_values(record, base, tolerance, &mut violations);
+            }
+        }
+    }
+
+    // Every baseline metric family must still be produced: smoke runs shrink
+    // each sweep to a prefix but never drop a whole metric.
+    let fresh_families: BTreeSet<&str> = fresh.records.iter().map(ParsedRecord::family).collect();
+    let baseline_families: BTreeSet<&str> =
+        baseline.records.iter().map(ParsedRecord::family).collect();
+    for family in baseline_families.difference(&fresh_families) {
+        violations.push(format!(
+            "metric family {family:?} is in the committed baseline but the bench no longer \
+             produces it"
+        ));
+    }
+    violations
+}
+
+fn check_values(
+    fresh: &ParsedRecord,
+    baseline: &ParsedRecord,
+    tolerance: f64,
+    violations: &mut Vec<String>,
+) {
+    let name = &fresh.name;
+    let (Some(b), Some(f)) = (baseline.value, fresh.value) else {
+        violations.push(format!(
+            "metric {name:?} has a null (non-finite) value: baseline {:?}, fresh {:?}",
+            baseline.value, fresh.value
+        ));
+        return;
+    };
+    if !b.is_finite() || !f.is_finite() {
+        violations.push(format!("metric {name:?} is non-finite: baseline {b}, fresh {f}"));
+        return;
+    }
+    if b == 0.0 && f == 0.0 {
+        return;
+    }
+    if b == 0.0 || f == 0.0 || b.signum() != f.signum() {
+        violations.push(format!(
+            "metric {name:?} changed sign or collapsed to zero: baseline {b}, fresh {f}"
+        ));
+        return;
+    }
+    let ratio = (f / b).abs();
+    if ratio > tolerance || ratio < 1.0 / tolerance {
+        violations.push(format!(
+            "metric {name:?} moved {ratio:.3}x against the baseline (tolerance {tolerance}x): \
+             baseline {b}, fresh {f}"
+        ));
+    }
+}
+
+/// Compares every `BENCH_*.json` in `baseline_dir` against its counterpart
+/// in `fresh_dir`.
+///
+/// A baseline without a fresh counterpart (a bench that stopped writing its
+/// trajectory) and a fresh trajectory without a baseline (a bench added
+/// without committing its full run) are both violations.
+///
+/// # Errors
+///
+/// Propagates I/O errors from listing or reading the directories; parse
+/// failures are reported as violations, not errors.
+pub fn check_directories(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    tolerance: f64,
+) -> std::io::Result<Vec<String>> {
+    let list = |dir: &Path| -> std::io::Result<BTreeSet<String>> {
+        let mut names = BTreeSet::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                names.insert(name);
+            }
+        }
+        Ok(names)
+    };
+    let baselines = list(baseline_dir)?;
+    let fresh_files = list(fresh_dir)?;
+
+    let mut violations = Vec::new();
+    for name in baselines.difference(&fresh_files) {
+        violations.push(format!("baseline {name} has no freshly generated counterpart"));
+    }
+    for name in fresh_files.difference(&baselines) {
+        violations.push(format!("fresh {name} has no committed baseline"));
+    }
+    for name in baselines.intersection(&fresh_files) {
+        let read_parse = |dir: &Path| -> Result<ParsedReport, String> {
+            let text = std::fs::read_to_string(dir.join(name)).map_err(|e| e.to_string())?;
+            parse_report(&text)
+        };
+        match (read_parse(baseline_dir), read_parse(fresh_dir)) {
+            (Ok(baseline), Ok(fresh)) => {
+                for v in compare_reports(&baseline, &fresh, tolerance) {
+                    violations.push(format!("{name}: {v}"));
+                }
+            }
+            (Err(e), _) => violations.push(format!("{name}: baseline unreadable: {e}")),
+            (_, Err(e)) => violations.push(format!("{name}: fresh file unreadable: {e}")),
+        }
+    }
+    Ok(violations)
+}
+
+/// Renders a violation list as a readable multi-line report.
+pub fn render_violations(violations: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "bench-regression gate: {} violation(s)", violations.len());
+    for v in violations {
+        let _ = writeln!(out, "  - {v}");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser (no dependencies; the trajectory
+// files are small and machine-written, so error positions are byte offsets).
+// ---------------------------------------------------------------------------
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_owned()),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or(format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let escape = *bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape {hex:?}"))?;
+                        *pos += 4;
+                        // Surrogate pairs never appear in our machine-written
+                        // names; map unpaired surrogates to the replacement
+                        // character rather than failing the whole gate.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through unchanged.
+                let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::PerfReport;
+
+    fn report(records: &[(&str, f64, &str)]) -> ParsedReport {
+        let mut r = PerfReport::new("demo");
+        for &(name, value, unit) in records {
+            r.push(name, value, unit);
+        }
+        parse_report(&r.to_json()).expect("round trip through the writer")
+    }
+
+    #[test]
+    fn writer_output_round_trips_through_the_parser() {
+        let parsed = report(&[("sparse/100", 0.25, "seconds"), ("speedup/100", 12.0, "x")]);
+        assert_eq!(parsed.bench, "demo");
+        assert_eq!(parsed.records.len(), 2);
+        assert_eq!(parsed.records[0].name, "sparse/100");
+        assert_eq!(parsed.records[0].value, Some(0.25));
+        assert_eq!(parsed.records[0].family(), "sparse");
+        assert_eq!(parsed.records[1].unit, "x");
+    }
+
+    #[test]
+    fn null_values_parse_and_then_fail_the_gate() {
+        let mut r = PerfReport::new("demo");
+        r.push("speedup/10", f64::INFINITY, "x"); // serialised as null
+        let parsed = parse_report(&r.to_json()).unwrap();
+        assert_eq!(parsed.records[0].value, None);
+        let ok = report(&[("speedup/10", 2.0, "x")]);
+        let violations = compare_reports(&ok, &parsed, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("null"));
+    }
+
+    #[test]
+    fn structural_deviations_are_parse_errors() {
+        assert!(parse_report("[1, 2]").is_err());
+        assert!(parse_report("{\"bench\": \"x\"}").is_err());
+        assert!(parse_report("{\"bench\": \"x\", \"results\": [{\"name\": \"a\", \"value\": 1}]}")
+            .is_err());
+        assert!(parse_report("{\"bench\": \"x\", \"results\": [], \"extra\": 1}").is_err());
+        assert!(parse_report("{\"bench\": 3, \"results\": []}").is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(&[("sparse/100", 0.25, "seconds"), ("nodes/100", 100.0, "count")]);
+        assert!(compare_reports(&a, &a, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn smoke_subsets_pass_when_every_family_survives() {
+        let full = report(&[
+            ("sparse/100", 0.25, "seconds"),
+            ("sparse/1000", 2.5, "seconds"),
+            ("speedup/100", 10.0, "x"),
+        ]);
+        let smoke = report(&[("sparse/100", 0.3, "seconds"), ("speedup/100", 8.0, "x")]);
+        assert!(compare_reports(&full, &smoke, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn renamed_metrics_fail() {
+        let baseline = report(&[("banded/100", 0.25, "seconds")]);
+        let fresh = report(&[("band_lu/100", 0.25, "seconds")]);
+        let violations = compare_reports(&baseline, &fresh, DEFAULT_TOLERANCE);
+        // The rename shows up from both directions: an unknown fresh metric
+        // and a baseline family that disappeared.
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("not in the committed baseline")));
+        assert!(violations.iter().any(|v| v.contains("no longer produces")));
+    }
+
+    #[test]
+    fn dropped_metric_families_fail() {
+        let baseline = report(&[("sparse/100", 0.2, "seconds"), ("speedup/100", 11.0, "x")]);
+        let fresh = report(&[("sparse/100", 0.2, "seconds")]);
+        let violations = compare_reports(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("\"speedup\""));
+    }
+
+    #[test]
+    fn unit_changes_fail() {
+        let baseline = report(&[("sparse/100", 0.2, "seconds")]);
+        let fresh = report(&[("sparse/100", 200.0, "milliseconds")]);
+        let violations = compare_reports(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert!(violations.iter().any(|v| v.contains("changed unit")), "{violations:?}");
+    }
+
+    #[test]
+    fn order_of_magnitude_value_drift_fails() {
+        let baseline = report(&[("sparse/100", 0.2, "seconds")]);
+        // A ps-vs-s style mix-up: 12 orders of magnitude out.
+        let fresh = report(&[("sparse/100", 2.0e11, "seconds")]);
+        let violations = compare_reports(&baseline, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("moved"));
+        // Within-tolerance noise passes.
+        let noisy = report(&[("sparse/100", 0.5, "seconds")]);
+        assert!(compare_reports(&baseline, &noisy, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn sign_flips_and_zero_collapse_fail() {
+        let baseline = report(&[("delta/1", 4.0, "ps"), ("zero/1", 0.0, "ps")]);
+        let flipped = report(&[("delta/1", -4.0, "ps"), ("zero/1", 0.0, "ps")]);
+        let violations = compare_reports(&baseline, &flipped, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("changed sign"));
+        let collapsed = report(&[("delta/1", 0.0, "ps"), ("zero/1", 0.0, "ps")]);
+        let violations = compare_reports(&baseline, &collapsed, DEFAULT_TOLERANCE);
+        assert_eq!(violations.len(), 1, "matching zeros pass, collapses fail: {violations:?}");
+    }
+
+    #[test]
+    fn renamed_bench_fails() {
+        let mut a = PerfReport::new("alpha");
+        a.push("x/1", 1.0, "s");
+        let mut b = PerfReport::new("beta");
+        b.push("x/1", 1.0, "s");
+        let a = parse_report(&a.to_json()).unwrap();
+        let b = parse_report(&b.to_json()).unwrap();
+        assert!(compare_reports(&a, &b, DEFAULT_TOLERANCE)
+            .iter()
+            .any(|v| v.contains("bench renamed")));
+    }
+
+    #[test]
+    fn directory_check_flags_missing_and_extra_files() {
+        let base = std::env::temp_dir().join(format!("rlckit-bench-check-{}", std::process::id()));
+        let baseline_dir = base.join("baseline");
+        let fresh_dir = base.join("fresh");
+        std::fs::create_dir_all(&baseline_dir).unwrap();
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+
+        let mut shared = PerfReport::new("shared");
+        shared.push("t/1", 1.0, "seconds");
+        shared.write(&baseline_dir).unwrap();
+        shared.write(&fresh_dir).unwrap();
+        let mut only_base = PerfReport::new("gone");
+        only_base.push("t/1", 1.0, "seconds");
+        only_base.write(&baseline_dir).unwrap();
+        let mut only_fresh = PerfReport::new("unbaselined");
+        only_fresh.push("t/1", 1.0, "seconds");
+        only_fresh.write(&fresh_dir).unwrap();
+
+        let violations = check_directories(&baseline_dir, &fresh_dir, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("BENCH_gone.json")));
+        assert!(violations.iter().any(|v| v.contains("BENCH_unbaselined.json")));
+        let rendered = render_violations(&violations);
+        assert!(rendered.contains("2 violation(s)"));
+
+        // A mutated baseline (hand-edited value) must fail the matched file.
+        let mut mutated = PerfReport::new("shared");
+        mutated.push("t/1", 1.0e9, "seconds");
+        mutated.write(&baseline_dir).unwrap();
+        let violations = check_directories(&baseline_dir, &fresh_dir, DEFAULT_TOLERANCE).unwrap();
+        assert!(violations.iter().any(|v| v.contains("BENCH_shared.json") && v.contains("moved")));
+
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

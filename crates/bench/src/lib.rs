@@ -3,12 +3,15 @@
 //! Each binary under `src/bin/` regenerates one experiment (see DESIGN.md and
 //! EXPERIMENTS.md for the index); the Criterion benches under `benches/`
 //! measure the runtime cost of the closed forms against the numerical and
-//! simulation-based alternatives. This library crate only holds the small
-//! report-formatting helpers those targets share.
+//! simulation-based alternatives. This library crate holds the small
+//! report-formatting helpers those targets share, plus the bench-regression
+//! gate ([`check`]) that keeps the committed `BENCH_*.json` trajectories
+//! honest in CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod report;
 
 pub use report::Table;

@@ -17,7 +17,7 @@ use rlckit_units::Frequency;
 use crate::error::CircuitError;
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId, SourceId};
-use crate::solve::FactoredMna;
+use crate::solve::factor_complex;
 
 /// Complex-frequency solution of a circuit for one excitation.
 #[derive(Debug, Clone)]
@@ -63,9 +63,10 @@ pub fn solve_at_with(
     backend: SolverBackend,
 ) -> Result<AcSolution, CircuitError> {
     let mna = MnaSystem::build(circuit)?;
-    let a = mna.assemble_complex(s);
     let b = mna.unit_excitation(source)?;
-    let factor = FactoredMna::factor(&mna, &a, backend, "ac analysis")?;
+    // Assembly is routed by the resolved backend: band storage for the
+    // dense/banded kernels, compressed-sparse-column for the sparse kernel.
+    let factor = factor_complex(&mna, s, backend, "ac analysis")?;
     let state = factor.solve(&b);
     Ok(AcSolution { state })
 }
@@ -109,8 +110,7 @@ pub fn frequency_sweep(
     let mut out = Vec::with_capacity(frequencies.len());
     for &f in frequencies {
         let s = Complex::new(0.0, f.angular());
-        let a = mna.assemble_complex(s);
-        let factor = FactoredMna::factor(&mna, &a, SolverBackend::Auto, "ac analysis")?;
+        let factor = factor_complex(&mna, s, SolverBackend::Auto, "ac analysis")?;
         let state = factor.solve(&b);
         let h = match row {
             Some(r) => state[r],

@@ -27,7 +27,10 @@
 //! * [`ac`] — complex-frequency transfer functions;
 //! * [`waveform`] — sampled waveforms and delay/overshoot measurements;
 //! * [`ladder`] — convenience builder for gate-driven RLC transmission-line
-//!   ladders (the circuit of Fig. 1 in the paper).
+//!   ladders (the circuit of Fig. 1 in the paper);
+//! * [`tree`] — gate-driven branching RLC nets ([`tree::TreeSpec`]) with
+//!   per-sink delay/overshoot extraction, the workload of the sparse solver
+//!   backend.
 //!
 //! # Example: 50% delay of a driven RLC line
 //!
@@ -76,6 +79,7 @@ pub mod solve;
 pub mod source;
 pub mod state_space;
 pub mod transient;
+pub mod tree;
 pub mod waveform;
 
 pub use error::CircuitError;

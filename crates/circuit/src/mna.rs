@@ -14,9 +14,12 @@
 //! the unknowns together with the bandwidth it achieves. Analyses then
 //! assemble whatever combination of `G` and `C` they need directly into band
 //! storage ([`MnaSystem::assemble_real`] / [`MnaSystem::assemble_complex`])
-//! and hand it to a [`SolverBackend`](rlckit_numeric::solver::SolverBackend),
-//! which picks the banded `O(n·b²)` kernel for ladder-shaped circuits and the
-//! dense kernel otherwise.
+//! or compressed-sparse-column form ([`MnaSystem::assemble_csc_real`] /
+//! [`MnaSystem::assemble_csc_complex`]) and hand it to a
+//! [`SolverBackend`](rlckit_numeric::solver::SolverBackend), which picks the
+//! banded `O(n·b²)` kernel for ladder-shaped circuits, the fill-reducing
+//! sparse kernel for wide-bandwidth (tree-shaped) systems, and the dense
+//! kernel for small or genuinely full ones.
 //!
 //! A small conductance (`GMIN`) is added from every node to ground so that
 //! circuits with capacitor-only nodes still have a non-singular `G`, matching
@@ -26,6 +29,7 @@ use rlckit_numeric::banded::BandedMatrix;
 use rlckit_numeric::complex::Complex;
 use rlckit_numeric::matrix::{Matrix, Scalar};
 use rlckit_numeric::ordering::{gather, permuted_bandwidth, reverse_cuthill_mckee, scatter};
+use rlckit_numeric::sparse::{CscMatrix, SparseSymbolic};
 use rlckit_units::Time;
 
 use crate::error::CircuitError;
@@ -63,6 +67,10 @@ pub struct MnaSystem {
     kl: usize,
     /// Upper bandwidth of the union pattern of `G` and `C` under `perm`.
     ku: usize,
+    /// Fill-reducing symbolic phase of the union pattern, computed on first
+    /// sparse use and shared by every sparse factorisation of this system
+    /// (DC, transient, AC frequencies).
+    sparse_symbolic: std::sync::OnceLock<SparseSymbolic>,
 }
 
 impl MnaSystem {
@@ -174,8 +182,80 @@ impl MnaSystem {
             g_stamps.iter().chain(c_stamps.iter()).map(|&(r, c, _)| (r, c)),
             &perm,
         );
+        Ok(Self {
+            node_unknowns,
+            dim,
+            g_stamps,
+            c_stamps,
+            sources,
+            source_ids,
+            perm,
+            kl,
+            ku,
+            sparse_symbolic: std::sync::OnceLock::new(),
+        })
+    }
 
-        Ok(Self { node_unknowns, dim, g_stamps, c_stamps, sources, source_ids, perm, kl, ku })
+    /// The fill-reducing symbolic phase of the sparse backend, computed
+    /// lazily from the union pattern of `G` and `C` on first use and then
+    /// shared by every sparse numeric factorisation of this system — the DC,
+    /// transient and AC analyses all factor `gs·G + cs·C` matrices with this
+    /// one pattern.
+    pub fn sparse_symbolic(&self) -> &SparseSymbolic {
+        self.sparse_symbolic.get_or_init(|| {
+            SparseSymbolic::analyze(
+                self.dim,
+                self.g_stamps.iter().chain(self.c_stamps.iter()).map(|&(r, c, _)| (r, c)),
+            )
+        })
+    }
+
+    /// Number of stamp entries in the union of `G` and `C` (an upper bound on
+    /// the non-zeros of any assembled `gs·G + cs·C`).
+    pub fn stamp_count(&self) -> usize {
+        self.g_stamps.len() + self.c_stamps.len()
+    }
+
+    /// Assembles `gs·G + cs·C` in compressed-sparse-column form, in logical
+    /// (node/branch) order — the sparse backend applies its own fill-reducing
+    /// ordering, so no relabelling happens here.
+    pub fn assemble_csc_real(&self, gs: f64, cs: f64) -> CscMatrix<f64> {
+        let mut triplets = Vec::with_capacity(self.stamp_count());
+        if gs != 0.0 {
+            triplets.extend(self.g_stamps.iter().map(|&(r, c, v)| (r, c, gs * v)));
+        }
+        if cs != 0.0 {
+            triplets.extend(self.c_stamps.iter().map(|&(r, c, v)| (r, c, cs * v)));
+        }
+        CscMatrix::from_triplets(self.dim, &triplets)
+    }
+
+    /// Assembles the complex system `G + s·C` in compressed-sparse-column
+    /// form, in logical order.
+    pub fn assemble_csc_complex(&self, s: Complex) -> CscMatrix<Complex> {
+        let mut triplets = Vec::with_capacity(self.stamp_count());
+        triplets.extend(self.g_stamps.iter().map(|&(r, c, v)| (r, c, Complex::from_real(v))));
+        triplets.extend(self.c_stamps.iter().map(|&(r, c, v)| (r, c, s * v)));
+        CscMatrix::from_triplets(self.dim, &triplets)
+    }
+
+    /// Computes `y = (gs·G + cs·C)·x` in logical order directly from the
+    /// triplet stamps (`O(nnz)`, no matrix materialised) — the history
+    /// operator application of the transient hot loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn apply_real(&self, gs: f64, cs: f64, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "vector length must equal system dimension");
+        let mut y = vec![0.0; self.dim];
+        if gs != 0.0 {
+            apply_stamps_scaled(&self.g_stamps, gs, x, &mut y);
+        }
+        if cs != 0.0 {
+            apply_stamps_scaled(&self.c_stamps, cs, x, &mut y);
+        }
+        y
     }
 
     /// Dimension of the unknown vector (node voltages + branch currents).
@@ -371,10 +451,16 @@ impl MnaSystem {
 fn apply_stamps(dim: usize, stamps: &[Stamp], x: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), dim, "vector length must equal system dimension");
     let mut y = vec![0.0; dim];
-    for &(r, c, v) in stamps {
-        y[r] += v * x[c];
-    }
+    apply_stamps_scaled(stamps, 1.0, x, &mut y);
     y
+}
+
+/// Accumulates `y += scale · stamps · x` — the one scatter-accumulate kernel
+/// behind every stamp-level operator application.
+fn apply_stamps_scaled(stamps: &[Stamp], scale: f64, x: &[f64], y: &mut [f64]) {
+    for &(r, c, v) in stamps {
+        y[r] += scale * v * x[c];
+    }
 }
 
 fn dense_from_stamps(dim: usize, stamps: &[Stamp]) -> Matrix<f64> {
@@ -683,6 +769,68 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn assemble_csc_matches_dense_combination() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        let gnd = c.ground();
+        c.add_voltage_source(a, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_inductor(a, b, Inductance::from_nanohenries(5.0)).unwrap();
+        c.add_capacitor(b, gnd, Capacitance::from_picofarads(2.0)).unwrap();
+        c.add_resistor(b, gnd, Resistance::from_ohms(50.0)).unwrap();
+        let mna = MnaSystem::build(&c).unwrap();
+        let (gs, cs) = (0.5, 1e12);
+        let csc = mna.assemble_csc_real(gs, cs);
+        let g = mna.dense_g();
+        let cc = mna.dense_c();
+        for i in 0..mna.dim() {
+            for j in 0..mna.dim() {
+                let want = gs * g[(i, j)] + cs * cc[(i, j)];
+                let got = csc.get(i, j);
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "({i},{j}): csc {got} vs dense {want}"
+                );
+            }
+        }
+        // The complex assembly matches the dense complex system the same way.
+        let s = Complex::new(1e8, -2e9);
+        let csc = mna.assemble_csc_complex(s);
+        let dense = mna.complex_system(s);
+        for i in 0..mna.dim() {
+            for j in 0..mna.dim() {
+                assert!((csc.get(i, j) - dense[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert!(csc.nnz() <= mna.stamp_count());
+    }
+
+    #[test]
+    fn apply_real_matches_the_dense_operator() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let x: Vec<f64> = (0..mna.dim()).map(|i| 0.3 * i as f64 - 0.5).collect();
+        let (gs, cs) = (-0.5, 1e12);
+        let got = mna.apply_real(gs, cs, &x);
+        let g = mna.dense_g().mul_vec(&x);
+        let cc = mna.dense_c().mul_vec(&x);
+        for i in 0..mna.dim() {
+            let want = gs * g[i] + cs * cc[i];
+            assert!((got[i] - want).abs() < 1e-9 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sparse_symbolic_is_computed_once_and_covers_the_union_pattern() {
+        let (c, _, _) = simple_rc();
+        let mna = MnaSystem::build(&c).unwrap();
+        let first = mna.sparse_symbolic() as *const _;
+        let second = mna.sparse_symbolic() as *const _;
+        assert_eq!(first, second, "the symbolic phase must be cached");
+        assert_eq!(mna.sparse_symbolic().dim(), mna.dim());
     }
 
     #[test]

@@ -1,21 +1,26 @@
 //! The circuit-side face of the pluggable solver backend.
 //!
 //! [`FactoredMna`] couples a backend-erased factorisation
-//! ([`FactoredSolver`]) with the bandwidth-reducing permutation of the
-//! [`MnaSystem`] it was assembled from, so analyses
-//! can keep thinking in logical (node/branch) order: right-hand sides go in
-//! logical, solutions come out logical, and the permutation bookkeeping stays
-//! here.
+//! ([`FactoredSolver`]) with whatever unknown relabelling it was assembled
+//! under, so analyses can keep thinking in logical (node/branch) order:
+//! right-hand sides go in logical, solutions come out logical, and the
+//! permutation bookkeeping stays here.
 //!
-//! DC, AC and transient analysis all factor through this type; the transient
-//! solver additionally keeps its state vector in packed order across
-//! timesteps (see [`crate::transient`]) and only translates when recording
-//! samples.
+//! The backend decides the assembly route. Dense and banded kernels factor
+//! the band-assembled matrix under the bandwidth-reducing Cuthill–McKee
+//! relabelling; the sparse kernel factors a compressed-sparse-column assembly
+//! in logical order and applies its own fill-reducing (minimum-degree)
+//! ordering internally, reusing the [`MnaSystem`]'s lazily computed symbolic
+//! phase across every factorisation of the same circuit — DC initial
+//! condition, transient stepping matrix and each AC frequency point.
+//!
+//! DC, AC and transient analysis all factor through this type.
 
 use rlckit_numeric::banded::BandedMatrix;
 use rlckit_numeric::matrix::Scalar;
 use rlckit_numeric::ordering::{gather, scatter};
 use rlckit_numeric::solver::{FactoredSolver, ResolvedBackend, SolverBackend};
+use rlckit_numeric::sparse::SparseLuFactor;
 
 use crate::error::CircuitError;
 use crate::mna::MnaSystem;
@@ -25,7 +30,9 @@ use crate::mna::MnaSystem;
 #[derive(Debug, Clone)]
 pub struct FactoredMna<T: Scalar = f64> {
     solver: FactoredSolver<T>,
-    perm: Vec<usize>,
+    /// Packing permutation of the assembled rows, or `None` when the solver
+    /// operates directly in logical order (the sparse path).
+    perm: Option<Vec<usize>>,
 }
 
 impl<T: Scalar> FactoredMna<T> {
@@ -46,7 +53,7 @@ impl<T: Scalar> FactoredMna<T> {
     ) -> Result<Self, CircuitError> {
         let solver = FactoredSolver::factor(a, backend)
             .map_err(|_| CircuitError::SingularSystem { stage })?;
-        Ok(Self { solver, perm: mna.permutation().to_vec() })
+        Ok(Self { solver, perm: Some(mna.permutation().to_vec()) })
     }
 
     /// Solves `A·x = b` with both `b` and the returned `x` in logical
@@ -56,26 +63,43 @@ impl<T: Scalar> FactoredMna<T> {
     ///
     /// Panics if `b.len()` does not equal the system dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
-        let packed = scatter(&self.perm, b);
-        let solution = self.solver.solve(&packed);
-        gather(&self.perm, &solution)
+        match &self.perm {
+            Some(perm) => {
+                let packed = scatter(perm, b);
+                let solution = self.solver.solve(&packed);
+                gather(perm, &solution)
+            }
+            None => self.solver.solve(b),
+        }
     }
 
-    /// The kernel the backend dispatch selected (dense or banded).
+    /// The kernel the backend dispatch selected (dense, banded or sparse).
     pub fn backend(&self) -> ResolvedBackend {
         self.solver.backend()
     }
 
-    /// Access to the packed-order solver, for analyses that manage the
-    /// permutation themselves (the transient hot loop).
+    /// Access to the underlying backend-erased solver (packed order for the
+    /// dense/banded paths, logical order for the sparse path).
     pub fn packed_solver(&self) -> &FactoredSolver<T> {
         &self.solver
     }
 }
 
+/// Resolves the effective kernel for a system before any assembly happens,
+/// so the sparse path never materialises band storage (which would be
+/// `O(n·bandwidth)` — quadratic on tree-shaped circuits).
+pub(crate) fn resolve_backend(mna: &MnaSystem, backend: SolverBackend) -> ResolvedBackend {
+    let (kl, ku) = mna.bandwidth();
+    backend.resolve(mna.dim(), kl, ku)
+}
+
 /// Factorises `gs·G + cs·C` of a system with the requested backend.
 ///
-/// Convenience wrapper used by the DC and transient analyses.
+/// Convenience wrapper used by the DC and transient analyses. The backend is
+/// resolved *before* assembly: the sparse kernel receives a
+/// compressed-sparse-column matrix in logical order (reusing the system's
+/// symbolic phase), the dense/banded kernels the band assembly under the
+/// bandwidth-reducing relabelling.
 ///
 /// # Errors
 ///
@@ -88,7 +112,36 @@ pub fn factor_real(
     backend: SolverBackend,
     stage: &'static str,
 ) -> Result<FactoredMna<f64>, CircuitError> {
+    if resolve_backend(mna, backend) == ResolvedBackend::Sparse {
+        let a = mna.assemble_csc_real(gs, cs);
+        let factor = SparseLuFactor::factor(&a, mna.sparse_symbolic())
+            .map_err(|_| CircuitError::SingularSystem { stage })?;
+        return Ok(FactoredMna { solver: FactoredSolver::from_sparse(factor), perm: None });
+    }
     let a = mna.assemble_real(gs, cs);
+    FactoredMna::factor(mna, &a, backend, stage)
+}
+
+/// Factorises the complex system `G + s·C` with the requested backend,
+/// routing assembly exactly like [`factor_real`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::SingularSystem`] tagged with `stage` if the matrix
+/// cannot be factorised.
+pub fn factor_complex(
+    mna: &MnaSystem,
+    s: rlckit_numeric::complex::Complex,
+    backend: SolverBackend,
+    stage: &'static str,
+) -> Result<FactoredMna<rlckit_numeric::complex::Complex>, CircuitError> {
+    if resolve_backend(mna, backend) == ResolvedBackend::Sparse {
+        let a = mna.assemble_csc_complex(s);
+        let factor = SparseLuFactor::factor(&a, mna.sparse_symbolic())
+            .map_err(|_| CircuitError::SingularSystem { stage })?;
+        return Ok(FactoredMna { solver: FactoredSolver::from_sparse(factor), perm: None });
+    }
+    let a = mna.assemble_complex(s);
     FactoredMna::factor(mna, &a, backend, stage)
 }
 
@@ -170,5 +223,44 @@ mod tests {
         let mna = MnaSystem::build(&circuit).unwrap();
         let err = factor_real(&mna, 0.0, 0.0, SolverBackend::Auto, "unit test").unwrap_err();
         assert!(matches!(err, CircuitError::SingularSystem { stage: "unit test" }));
+    }
+
+    #[test]
+    fn sparse_backend_agrees_with_banded_on_dc_and_complex() {
+        let circuit = chain(25);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let mut b = vec![0.0; mna.dim()];
+        mna.rhs_at(Time::from_picoseconds(1.0), &mut b);
+
+        let sparse = factor_real(&mna, 1.0, 0.0, SolverBackend::Sparse, "test").unwrap();
+        let banded = factor_real(&mna, 1.0, 0.0, SolverBackend::Banded, "test").unwrap();
+        assert_eq!(sparse.backend(), ResolvedBackend::Sparse);
+        assert_eq!(sparse.packed_solver().dim(), mna.dim());
+        let xs = sparse.solve(&b);
+        let xb = banded.solve(&b);
+        for (s, bd) in xs.iter().zip(xb.iter()) {
+            assert!((s - bd).abs() < 1e-9, "sparse {s} vs banded {bd}");
+        }
+
+        let s = Complex::new(0.0, 2e10);
+        let sparse_c = factor_complex(&mna, s, SolverBackend::Sparse, "test").unwrap();
+        let banded_c = factor_complex(&mna, s, SolverBackend::Banded, "test").unwrap();
+        let bc = mna.unit_excitation(crate::netlist::SourceId(0)).unwrap();
+        for (u, v) in sparse_c.solve(&bc).iter().zip(banded_c.solve(&bc).iter()) {
+            assert!((*u - *v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_backend_reports_singular_systems_like_the_others() {
+        let circuit = chain(3);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let err = factor_real(&mna, 0.0, 0.0, backend, "parity").unwrap_err();
+            assert!(
+                matches!(err, CircuitError::SingularSystem { stage: "parity" }),
+                "backend {backend:?} must reject the zero matrix"
+            );
+        }
     }
 }

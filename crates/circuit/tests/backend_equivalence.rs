@@ -61,3 +61,48 @@ fn auto_backend_selects_banded_for_the_ladder_and_matches_it() {
         assert_eq!(a, f, "auto must be bit-identical to the banded kernel it picked");
     }
 }
+
+#[test]
+fn sparse_matches_dense_on_a_wide_tree_and_auto_selects_it() {
+    use rlckit_circuit::tree::{TreeBranch, TreeSpec};
+
+    // A flat 30-way fan-out: no ordering gives this a narrow band, so Auto
+    // must route to the sparse kernel — whose waveforms must match the dense
+    // reference at every sink.
+    let mut spec = TreeSpec::new(Resistance::from_ohms(200.0));
+    let branch = |parent: Option<usize>| TreeBranch {
+        parent,
+        total_resistance: Resistance::from_ohms(150.0),
+        total_inductance: Inductance::from_nanohenries(3.0),
+        total_capacitance: Capacitance::from_picofarads(0.3),
+        segments: 6,
+        sink_capacitance: Capacitance::from_femtofarads(20.0),
+    };
+    spec.branches.push(branch(None));
+    for _ in 0..30 {
+        spec.branches.push(branch(Some(0)));
+    }
+    let net = spec.build().expect("tree builds");
+    let options = TransientOptions::new(Time::from_nanoseconds(0.4), Time::from_picoseconds(1.0));
+
+    let auto =
+        run_transient(&net.circuit, &options.with_backend(SolverBackend::Auto)).expect("auto run");
+    let sparse = run_transient(&net.circuit, &options.with_backend(SolverBackend::Sparse))
+        .expect("sparse run");
+    let dense = run_transient(&net.circuit, &options.with_backend(SolverBackend::Dense))
+        .expect("dense run");
+    assert_eq!(auto.backend(), ResolvedBackend::Sparse);
+    assert_eq!(sparse.backend(), ResolvedBackend::Sparse);
+
+    for sink in &net.sinks {
+        let ws = sparse.node_voltage(sink.node);
+        let wd = dense.node_voltage(sink.node);
+        let wa = auto.node_voltage(sink.node);
+        let mut max_diff = 0.0f64;
+        for ((s, d), a) in ws.values().iter().zip(wd.values().iter()).zip(wa.values().iter()) {
+            max_diff = max_diff.max((s - d).abs());
+            assert_eq!(s, a, "Auto must be bit-identical to the kernel it picks");
+        }
+        assert!(max_diff < 1e-9, "sparse vs dense disagree by {max_diff} at sink {sink:?}");
+    }
+}

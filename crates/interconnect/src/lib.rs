@@ -45,9 +45,11 @@ pub mod line;
 pub mod merit;
 pub mod moments;
 pub mod technology;
+pub mod tree;
 pub mod twoport;
 
 pub use error::InterconnectError;
 pub use line::DistributedLine;
 pub use technology::Technology;
+pub use tree::{RoutingBranch, RoutingTree};
 pub use twoport::DrivenLine;

@@ -16,12 +16,8 @@
 //! factorisation is exactly as stable as the dense one. Row interchanges fill
 //! in up to `kl` extra superdiagonals, which the factor storage reserves.
 
-use crate::lu::FactorizeError;
+use crate::lu::{FactorizeError, SINGULARITY_THRESHOLD};
 use crate::matrix::{Matrix, Scalar};
-
-/// Pivot magnitudes below this threshold are treated as singular (matches the
-/// dense [`crate::lu::LuFactor`]).
-const SINGULARITY_THRESHOLD: f64 = 1e-300;
 
 /// A square matrix stored by diagonals: only entries with
 /// `-kl <= j - i <= ku` are representable.

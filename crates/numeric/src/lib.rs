@@ -63,6 +63,7 @@ pub mod orth;
 pub mod poly;
 pub mod roots;
 pub mod solver;
+pub mod sparse;
 pub mod stats;
 
 pub use banded::{BandedLuFactor, BandedMatrix};

@@ -50,8 +50,10 @@ pub struct LuFactor<T: Scalar = f64> {
     num_swaps: usize,
 }
 
-/// Pivot magnitudes below this threshold are treated as singular.
-const SINGULARITY_THRESHOLD: f64 = 1e-300;
+/// Pivot magnitudes below this threshold are treated as singular — shared by
+/// the dense, banded and sparse kernels so their singularity behaviour can
+/// never desynchronise.
+pub(crate) const SINGULARITY_THRESHOLD: f64 = 1e-300;
 
 impl<T: Scalar> LuFactor<T> {
     /// Factorises a square matrix.

@@ -1,4 +1,4 @@
-//! Pluggable linear-solver backends: dense or bandwidth-aware LU.
+//! Pluggable linear-solver backends: dense, bandwidth-aware or sparse LU.
 //!
 //! Every analysis in the circuit simulator reduces to "factorise a constant
 //! matrix once, then solve against many right-hand sides". This module makes
@@ -10,16 +10,28 @@
 //!   [`crate::banded::BandedLuFactor`], a large win whenever the matrix is
 //!   narrowly banded (every RLC-ladder MNA system is, after reverse
 //!   Cuthill–McKee reordering);
-//! * [`SolverBackend::Auto`] — picks between them from the matrix dimension
-//!   and bandwidths, so callers get the banded speedup without opting in.
+//! * [`SolverBackend::Sparse`] — the fill-reducing
+//!   [`crate::sparse::SparseLuFactor`], the general-purpose kernel for
+//!   matrices that are sparse but not banded (branching RLC *trees* have
+//!   `Ω(n/log n)` bandwidth under any ordering, yet factor with `O(n)` fill
+//!   under a minimum-degree order);
+//! * [`SolverBackend::Auto`] — picks among them from the matrix dimension
+//!   and bandwidths, so callers get the right kernel without opting in.
 //!
 //! [`FactoredSolver`] is the backend-erased factorisation: callers assemble a
-//! [`BandedMatrix`] (a degenerate full band is fine), call
-//! [`FactoredSolver::factor`], and solve without caring which kernel ran.
+//! [`BandedMatrix`] (a degenerate full band is fine) or a [`CscMatrix`], call
+//! [`FactoredSolver::factor`] / [`FactoredSolver::factor_csc`], and solve
+//! without caring which kernel ran.
 
 use crate::banded::{BandedLuFactor, BandedMatrix};
 use crate::lu::{FactorizeError, LuFactor};
 use crate::matrix::Scalar;
+use crate::sparse::{CscMatrix, SparseLuFactor};
+
+/// Widest factored band (`2·kl + ku + 1`) the automatic policy still hands to
+/// the banded kernel; anything wider (but still under the full dimension)
+/// goes to the sparse kernel instead.
+pub const AUTO_BAND_LIMIT: usize = 64;
 
 /// Which LU kernel to use for a factorisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,24 +43,31 @@ pub enum SolverBackend {
     Dense,
     /// Force the bandwidth-aware kernel.
     Banded,
+    /// Force the fill-reducing sparse kernel.
+    Sparse,
 }
 
 impl SolverBackend {
     /// Resolves `Auto` against a concrete matrix shape.
     ///
     /// The banded kernel stores `kl + min(kl+ku, n-1) + 1` diagonals, so it
-    /// only pays off while that stays below the full dimension; otherwise the
-    /// dense kernel's simpler inner loops win.
+    /// only pays off while that stays well below the full dimension; a narrow
+    /// band (≤ [`AUTO_BAND_LIMIT`]) takes the banded kernel, a wide band on a
+    /// large system takes the sparse kernel, and everything else — tiny
+    /// systems and genuinely full matrices — takes the dense kernel.
     pub fn resolve(self, n: usize, kl: usize, ku: usize) -> ResolvedBackend {
         match self {
             Self::Dense => ResolvedBackend::Dense,
             Self::Banded => ResolvedBackend::Banded,
+            Self::Sparse => ResolvedBackend::Sparse,
             Self::Auto => {
                 let factored_width = 2 * kl + ku + 1;
-                if factored_width < n {
+                if factored_width >= n {
+                    ResolvedBackend::Dense
+                } else if factored_width <= AUTO_BAND_LIMIT {
                     ResolvedBackend::Banded
                 } else {
-                    ResolvedBackend::Dense
+                    ResolvedBackend::Sparse
                 }
             }
         }
@@ -62,6 +81,8 @@ pub enum ResolvedBackend {
     Dense,
     /// Banded LU with partial pivoting.
     Banded,
+    /// Sparse LU with fill-reducing ordering and partial pivoting.
+    Sparse,
 }
 
 impl ResolvedBackend {
@@ -70,6 +91,7 @@ impl ResolvedBackend {
         match self {
             Self::Dense => "dense",
             Self::Banded => "banded",
+            Self::Sparse => "sparse",
         }
     }
 }
@@ -81,14 +103,17 @@ pub enum FactoredSolver<T: Scalar = f64> {
     Dense(LuFactor<T>),
     /// Factors held by the banded kernel.
     Banded(BandedLuFactor<T>),
+    /// Factors held by the sparse kernel.
+    Sparse(SparseLuFactor<T>),
 }
 
 impl<T: Scalar> FactoredSolver<T> {
     /// Factorises `a` with the requested backend.
     ///
-    /// The input is always band-form; a matrix with no useful structure is
-    /// simply a full band, which the dense kernel receives via
-    /// [`BandedMatrix::to_dense`].
+    /// The input is band-form; a matrix with no useful structure is simply a
+    /// full band, which the dense kernel receives via
+    /// [`BandedMatrix::to_dense`] and the sparse kernel via
+    /// [`CscMatrix::from_banded`].
     ///
     /// # Errors
     ///
@@ -98,7 +123,45 @@ impl<T: Scalar> FactoredSolver<T> {
         match resolved {
             ResolvedBackend::Dense => Ok(Self::Dense(LuFactor::new(&a.to_dense())?)),
             ResolvedBackend::Banded => Ok(Self::Banded(BandedLuFactor::new(a)?)),
+            ResolvedBackend::Sparse => {
+                Ok(Self::Sparse(SparseLuFactor::factor_auto(&CscMatrix::from_banded(a))?))
+            }
         }
+    }
+
+    /// Factorises a compressed-sparse-column matrix with the requested
+    /// backend (`Auto` resolves against the pattern's bandwidth).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FactorizeError`] from the chosen kernel.
+    pub fn factor_csc(a: &CscMatrix<T>, backend: SolverBackend) -> Result<Self, FactorizeError> {
+        let (mut kl, mut ku) = (0usize, 0usize);
+        for (r, c, _) in a.triplets() {
+            if r > c {
+                kl = kl.max(r - c);
+            } else {
+                ku = ku.max(c - r);
+            }
+        }
+        let resolved = backend.resolve(a.dim(), kl, ku);
+        match resolved {
+            ResolvedBackend::Sparse => Ok(Self::Sparse(SparseLuFactor::factor_auto(a)?)),
+            ResolvedBackend::Dense => Ok(Self::Dense(LuFactor::new(&a.to_dense())?)),
+            ResolvedBackend::Banded => {
+                let mut band = BandedMatrix::zeros(a.dim(), kl, ku);
+                for (r, c, v) in a.triplets() {
+                    band.set(r, c, v);
+                }
+                Ok(Self::Banded(BandedLuFactor::new(&band)?))
+            }
+        }
+    }
+
+    /// Wraps an already-computed sparse factorisation (used by callers that
+    /// manage their own [`crate::sparse::SparseSymbolic`] reuse).
+    pub fn from_sparse(factor: SparseLuFactor<T>) -> Self {
+        Self::Sparse(factor)
     }
 
     /// Solves `A·x = b` with the stored factors.
@@ -110,6 +173,7 @@ impl<T: Scalar> FactoredSolver<T> {
         match self {
             Self::Dense(f) => f.solve(b),
             Self::Banded(f) => f.solve(b),
+            Self::Sparse(f) => f.solve(b),
         }
     }
 
@@ -118,6 +182,7 @@ impl<T: Scalar> FactoredSolver<T> {
         match self {
             Self::Dense(f) => f.dim(),
             Self::Banded(f) => f.dim(),
+            Self::Sparse(f) => f.dim(),
         }
     }
 
@@ -126,6 +191,7 @@ impl<T: Scalar> FactoredSolver<T> {
         match self {
             Self::Dense(_) => ResolvedBackend::Dense,
             Self::Banded(_) => ResolvedBackend::Banded,
+            Self::Sparse(_) => ResolvedBackend::Sparse,
         }
     }
 }
@@ -155,16 +221,31 @@ mod tests {
     }
 
     #[test]
+    fn auto_picks_sparse_for_wide_bands_on_large_systems() {
+        // A tree-shaped MNA pattern: bandwidth grows with the system, so the
+        // factored width blows past the banded limit long before it reaches
+        // the dimension.
+        assert_eq!(SolverBackend::Auto.resolve(1000, 100, 100), ResolvedBackend::Sparse);
+        // Just at the limit stays banded.
+        let w = (AUTO_BAND_LIMIT - 1) / 3;
+        assert_eq!(SolverBackend::Auto.resolve(1000, w, w), ResolvedBackend::Banded);
+    }
+
+    #[test]
     fn forced_backends_are_respected() {
         let a = tridiagonal(20);
         let dense = FactoredSolver::factor(&a, SolverBackend::Dense).unwrap();
         let banded = FactoredSolver::factor(&a, SolverBackend::Banded).unwrap();
+        let sparse = FactoredSolver::factor(&a, SolverBackend::Sparse).unwrap();
         assert_eq!(dense.backend(), ResolvedBackend::Dense);
         assert_eq!(banded.backend(), ResolvedBackend::Banded);
+        assert_eq!(sparse.backend(), ResolvedBackend::Sparse);
         assert_eq!(dense.backend().name(), "dense");
         assert_eq!(banded.backend().name(), "banded");
+        assert_eq!(sparse.backend().name(), "sparse");
         assert_eq!(dense.dim(), 20);
         assert_eq!(banded.dim(), 20);
+        assert_eq!(sparse.dim(), 20);
     }
 
     #[test]
@@ -173,11 +254,43 @@ mod tests {
         let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).cos()).collect();
         let dense = FactoredSolver::factor(&a, SolverBackend::Dense).unwrap().solve(&b);
         let banded = FactoredSolver::factor(&a, SolverBackend::Banded).unwrap().solve(&b);
+        let sparse = FactoredSolver::factor(&a, SolverBackend::Sparse).unwrap().solve(&b);
         let auto = FactoredSolver::factor(&a, SolverBackend::Auto).unwrap().solve(&b);
-        for ((d, bd), au) in dense.iter().zip(banded.iter()).zip(auto.iter()) {
+        for (((d, bd), sp), au) in
+            dense.iter().zip(banded.iter()).zip(sparse.iter()).zip(auto.iter())
+        {
             assert!((d - bd).abs() < 1e-13);
+            assert!((d - sp).abs() < 1e-13);
             assert!((d - au).abs() < 1e-13);
         }
+    }
+
+    #[test]
+    fn csc_input_dispatches_each_backend() {
+        let a = CscMatrix::from_banded(&tridiagonal(30));
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut solutions = Vec::new();
+        for (backend, resolved) in [
+            (SolverBackend::Dense, ResolvedBackend::Dense),
+            (SolverBackend::Banded, ResolvedBackend::Banded),
+            (SolverBackend::Sparse, ResolvedBackend::Sparse),
+        ] {
+            let f = FactoredSolver::factor_csc(&a, backend).unwrap();
+            assert_eq!(f.backend(), resolved);
+            solutions.push(f.solve(&b));
+        }
+        for s in &solutions[1..] {
+            for (u, v) in solutions[0].iter().zip(s.iter()) {
+                assert!((u - v).abs() < 1e-12);
+            }
+        }
+        // Auto on a tridiagonal pattern resolves to banded.
+        let auto = FactoredSolver::factor_csc(&a, SolverBackend::Auto).unwrap();
+        assert_eq!(auto.backend(), ResolvedBackend::Banded);
+        // from_sparse wraps a hand-built factorisation.
+        let wrapped =
+            FactoredSolver::from_sparse(crate::sparse::SparseLuFactor::factor_auto(&a).unwrap());
+        assert_eq!(wrapped.backend(), ResolvedBackend::Sparse);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`comparison`] — the cost of designing with an RC model when the line is
 //!   really RLC: delay increase (Eqs. 16–17) and area increase (Eq. 18);
 //! * [`design`] — a high-level `RepeaterDesigner` that picks integer repeater
-//!   counts for a physical line in a given technology.
+//!   counts for a physical line in a given technology;
+//! * [`tree`] — tree-aware evaluation: the closed forms applied per
+//!   root-to-sink path of a branching net, judged by the worst sink.
 //!
 //! # Example
 //!
@@ -53,6 +55,8 @@ pub mod rc;
 pub mod rlc;
 pub mod system;
 pub mod tradeoff;
+pub mod tree;
 
 pub use error::RepeaterError;
 pub use system::{RepeaterDesign, RepeaterProblem};
+pub use tree::{evaluate_tree_repeaters, SinkRepeaterPlan, TreeRepeaterReport};

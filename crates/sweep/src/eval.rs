@@ -9,6 +9,7 @@
 //! cache assumes a scenario always produces the same row.
 
 use rlckit_circuit::ladder::{measure_step_delay, LadderSpec};
+use rlckit_circuit::tree::measure_tree_delays;
 use rlckit_circuit::SolverBackend;
 use rlckit_core::load::GateRlcLoad;
 use rlckit_core::model::propagation_delay;
@@ -17,9 +18,10 @@ use rlckit_coupling::bus::{CoupledBus, UniformBusSpec};
 use rlckit_coupling::crosstalk::crosstalk_metrics;
 use rlckit_coupling::netlist::BusDrive;
 use rlckit_coupling::repeater::evaluate_bus_repeaters;
-use rlckit_interconnect::{DistributedLine, Technology};
+use rlckit_interconnect::{DistributedLine, RoutingTree, Technology};
 use rlckit_reduce::reduce_ladder;
 use rlckit_repeater::comparison;
+use rlckit_repeater::tree::evaluate_tree_repeaters;
 use rlckit_repeater::RepeaterProblem;
 use rlckit_units::{CapacitancePerLength, InductancePerLength, Length, ResistancePerLength};
 
@@ -508,5 +510,59 @@ mod tests {
         assert!(matches!(DelayModelEvaluator.evaluate(&s), Err(SweepError::Evaluation { .. })));
         let s = Scenario { driver_size: 0.0, ..Scenario::default() };
         assert!(DelayModelEvaluator.evaluate(&s).is_err());
+    }
+}
+
+/// The branching-tree workload (`rlckit-interconnect` → `rlckit-circuit` →
+/// `rlckit-repeater`): a symmetric routing tree whose every root-to-sink
+/// path is electrically the scenario line, simulated once for per-sink
+/// timing (tree MNA systems route to the sparse solver backend) and
+/// evaluated per path with the paper's repeater closed forms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeDelayEvaluator;
+
+impl Evaluator for TreeDelayEvaluator {
+    fn name(&self) -> &'static str {
+        "tree_delay"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "worst_sink_delay_ps",
+            "sink_spread_ps",
+            "worst_overshoot_pct",
+            "sinks",
+            "repeater_rlc_delay_ps",
+            "repeater_rc_delay_ps",
+            "rc_penalty_pct",
+        ]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let tech = s.technology.technology();
+        let line = scenario_line(s)?;
+        let tree = RoutingTree::symmetric(
+            &line,
+            s.tree_levels,
+            s.tree_fanout,
+            tech.buffer_capacitance(s.driver_size)?,
+        )?;
+        let spec = tree.to_tree_spec(
+            tech.buffer_resistance(s.driver_size)?,
+            tech.supply,
+            s.ladder_sections.max(1),
+        )?;
+        let report = measure_tree_delays(&spec)?;
+        let repeaters = evaluate_tree_repeaters(&tree, &tech)?;
+        let worst = report.worst_sink();
+        Ok(vec![
+            worst.delay_50.picoseconds(),
+            report.sink_spread().picoseconds(),
+            report.worst_overshoot_percent(),
+            report.sinks.len() as f64,
+            repeaters.worst_sink_delay_rlc().picoseconds(),
+            repeaters.worst_sink_delay_rc().picoseconds(),
+            repeaters.rc_design_penalty_percent(),
+        ])
     }
 }

@@ -24,6 +24,7 @@ use std::path::Path;
 use crate::error::SweepError;
 use crate::eval::{
     BusCrosstalkEvaluator, DelayModelEvaluator, ReducedDelayEvaluator, RepeaterOptimumEvaluator,
+    TreeDelayEvaluator,
 };
 use crate::exec::{run_sweep, SweepOptions, SweepResult};
 use crate::scenario::{Param, Scenario, TechnologyNode};
@@ -42,7 +43,7 @@ pub struct Figure {
 }
 
 /// The committed figure datasets, in pipeline order.
-pub const FIGURES: [Figure; 4] = [
+pub const FIGURES: [Figure; 5] = [
     Figure {
         name: "delay_error_surface",
         file: "FIG_delay_error_surface.csv",
@@ -62,6 +63,11 @@ pub const FIGURES: [Figure; 4] = [
         name: "mor_accuracy_vs_order",
         file: "FIG_mor_accuracy_vs_order.csv",
         description: "reduced-order delay/overshoot error vs Krylov order, against the transient",
+    },
+    Figure {
+        name: "tree_worst_sink_delay",
+        file: "FIG_tree_worst_sink_delay.csv",
+        description: "worst-sink delay and RC-design penalty of a branching net vs fan-out and L",
     },
 ];
 
@@ -185,18 +191,59 @@ pub fn mor_accuracy_vs_order(options: &SweepOptions) -> Result<SweepResult, Swee
     Ok(result)
 }
 
+/// The sweep behind `FIG_tree_worst_sink_delay.csv`: symmetric 3-level
+/// routing trees whose root-to-sink paths are the paper's Fig. 1 regime over
+/// 10 mm, across fan-out (1 = the uniform-line baseline) and per-unit-length
+/// inductance. Worst-sink delay, sink skew and the per-path repeater
+/// penalties come from one sparse-backend transient per cell.
+pub fn tree_worst_sink_delay_spec() -> SweepSpec {
+    let base = Scenario {
+        resistance_ohm_per_mm: Some(50.0),
+        inductance_nh_per_mm: Some(1.0),
+        capacitance_ff_per_um: Some(0.1),
+        tree_levels: 3,
+        ..Scenario::default()
+    };
+    SweepSpec::new(base)
+        .axis(Axis::new("fanout", [1usize, 2, 3].map(Param::TreeFanout)))
+        .axis(Axis::new("l_nh_per_mm", [0.1, 0.5, 1.0, 2.0].map(Param::InductanceNhPerMm)))
+}
+
+/// Builds the tree worst-sink-delay dataset (one transient simulation per
+/// cell on the sparse backend; seconds in release mode).
+///
+/// # Errors
+///
+/// Propagates sweep/spec errors and the first simulation failure, if any.
+pub fn tree_worst_sink_delay(options: &SweepOptions) -> Result<SweepResult, SweepError> {
+    let result = run_sweep(&tree_worst_sink_delay_spec(), &TreeDelayEvaluator, options)?;
+    if let Some((index, error)) = result.first_error() {
+        return Err(SweepError::Evaluation {
+            reason: format!("tree figure cell {index} failed: {error}"),
+        });
+    }
+    Ok(result)
+}
+
+/// Builds the dataset of `FIGURES[index]`.
+fn build_figure(index: usize, options: &SweepOptions) -> Result<SweepResult, SweepError> {
+    match index {
+        0 => delay_error_surface(options),
+        1 => repeater_optimum_vs_inductance(options),
+        2 => bus_worst_case_pushout(options),
+        3 => mor_accuracy_vs_order(options),
+        4 => tree_worst_sink_delay(options),
+        _ => unreachable!("FIGURES and build_figure must stay in sync"),
+    }
+}
+
 /// Builds every figure dataset, in [`FIGURES`] order.
 ///
 /// # Errors
 ///
 /// Propagates the first builder failure.
 pub fn build_all(options: &SweepOptions) -> Result<Vec<(Figure, SweepResult)>, SweepError> {
-    Ok(vec![
-        (FIGURES[0], delay_error_surface(options)?),
-        (FIGURES[1], repeater_optimum_vs_inductance(options)?),
-        (FIGURES[2], bus_worst_case_pushout(options)?),
-        (FIGURES[3], mor_accuracy_vs_order(options)?),
-    ])
+    FIGURES.iter().enumerate().map(|(i, &figure)| Ok((figure, build_figure(i, options)?))).collect()
 }
 
 /// Writes every figure CSV into `dir`, returning the written paths.
@@ -228,11 +275,15 @@ pub fn write_all(
 /// not an error).
 pub fn check_all(options: &SweepOptions, dir: &Path) -> Result<Vec<&'static str>, SweepError> {
     let mut drifted = Vec::new();
-    for (figure, result) in build_all(options)? {
-        let fresh = CsvSink.render(&result);
-        match std::fs::read_to_string(dir.join(figure.file)) {
-            Ok(committed) if committed == fresh => {}
-            Ok(_) | Err(_) => drifted.push(figure.file),
+    for (i, figure) in FIGURES.iter().enumerate() {
+        // A missing artifact is drift on its own — no need to pay for the
+        // sweep that would only confirm there is nothing to compare against.
+        let Ok(committed) = std::fs::read_to_string(dir.join(figure.file)) else {
+            drifted.push(figure.file);
+            continue;
+        };
+        if CsvSink.render(&build_figure(i, options)?) != committed {
+            drifted.push(figure.file);
         }
     }
     Ok(drifted)
@@ -267,12 +318,14 @@ mod tests {
         assert_eq!(repeater_optimum_vs_inductance_spec().len(), 11);
         assert_eq!(bus_worst_case_pushout_spec().len(), 8);
         assert_eq!(mor_accuracy_vs_order_spec().len(), 6);
-        assert_eq!(FIGURES.len(), 4);
+        assert_eq!(tree_worst_sink_delay_spec().len(), 12);
+        assert_eq!(FIGURES.len(), 5);
     }
 
     #[test]
     fn check_reports_missing_artifacts_as_drift() {
-        // Point at an empty temp dir: every artifact is missing => 3 drifts.
+        // Point at an empty temp dir: every artifact is missing => one drift
+        // per figure.
         // Uses only the two closed-form figures' grid via a stub dir; the bus
         // figure must also run, so keep this test release-friendly but valid
         // in debug: the 8-cell bus grid at 8 sections is the debug-time cost
@@ -281,7 +334,7 @@ mod tests {
             std::env::temp_dir().join(format!("rlckit-sweep-figcheck-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let drifted = check_all(&SweepOptions::default(), &dir).unwrap();
-        assert_eq!(drifted.len(), 4);
+        assert_eq!(drifted.len(), FIGURES.len());
         // Writing then re-checking must be clean.
         write_all(&SweepOptions::default(), &dir).unwrap();
         let drifted = check_all(&SweepOptions::default(), &dir).unwrap();

@@ -56,6 +56,7 @@ pub use error::SweepError;
 pub use eval::{
     BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
     ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
+    TreeDelayEvaluator,
 };
 pub use exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult, SweepRow};
 pub use scenario::{Param, Scenario, TechnologyNode};
@@ -68,6 +69,7 @@ pub mod prelude {
     pub use crate::eval::{
         BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
         ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
+        TreeDelayEvaluator,
     };
     pub use crate::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
     pub use crate::scenario::{Param, Scenario, TechnologyNode};

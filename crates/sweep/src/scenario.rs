@@ -87,6 +87,11 @@ pub struct Scenario {
     pub ladder_sections: usize,
     /// Krylov reduction order `q` used by the reduced-order evaluators.
     pub reduction_order: usize,
+    /// Levels of the symmetric routing tree used by the tree evaluators
+    /// (each root-to-sink path spans the scenario line length).
+    pub tree_levels: usize,
+    /// Fan-out at every junction of the symmetric routing tree.
+    pub tree_fanout: usize,
 }
 
 impl Default for Scenario {
@@ -107,6 +112,8 @@ impl Default for Scenario {
             shielded: false,
             ladder_sections: 8,
             reduction_order: 8,
+            tree_levels: 3,
+            tree_fanout: 2,
         }
     }
 }
@@ -128,6 +135,8 @@ impl Scenario {
             Param::Shielded(v) => self.shielded = v,
             Param::LadderSections(v) => self.ladder_sections = v,
             Param::ReductionOrder(v) => self.reduction_order = v,
+            Param::TreeLevels(v) => self.tree_levels = v,
+            Param::TreeFanout(v) => self.tree_fanout = v,
         }
     }
 
@@ -146,6 +155,8 @@ impl Scenario {
         h.write_u8(u8::from(self.shielded));
         h.write_u64(self.ladder_sections as u64);
         h.write_u64(self.reduction_order as u64);
+        h.write_u64(self.tree_levels as u64);
+        h.write_u64(self.tree_fanout as u64);
     }
 }
 
@@ -178,6 +189,10 @@ pub enum Param {
     LadderSections(usize),
     /// Krylov reduction order `q` for the reduced-order evaluators.
     ReductionOrder(usize),
+    /// Levels of the symmetric routing tree for the tree evaluators.
+    TreeLevels(usize),
+    /// Fan-out at every junction of the symmetric routing tree.
+    TreeFanout(usize),
 }
 
 impl Param {
@@ -194,7 +209,11 @@ impl Param {
             | Self::Sections(v)
             | Self::CouplingCapFfPerUm(v)
             | Self::InductiveCoupling(v) => format!("{v}"),
-            Self::BusLines(v) | Self::LadderSections(v) | Self::ReductionOrder(v) => {
+            Self::BusLines(v)
+            | Self::LadderSections(v)
+            | Self::ReductionOrder(v)
+            | Self::TreeLevels(v)
+            | Self::TreeFanout(v) => {
                 format!("{v}")
             }
             Self::Shielded(v) => format!("{v}"),
@@ -275,6 +294,8 @@ mod tests {
             Param::Shielded(true),
             Param::LadderSections(12),
             Param::ReductionOrder(6),
+            Param::TreeLevels(4),
+            Param::TreeFanout(3),
         ] {
             s.apply(&p);
         }
@@ -291,6 +312,8 @@ mod tests {
         assert!(s.shielded);
         assert_eq!(s.ladder_sections, 12);
         assert_eq!(s.reduction_order, 6);
+        assert_eq!(s.tree_levels, 4);
+        assert_eq!(s.tree_fanout, 3);
     }
 
     #[test]

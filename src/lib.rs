@@ -18,6 +18,7 @@ pub use rlckit_units as units;
 /// Commonly used types and functions, re-exported for convenient glob imports.
 pub mod prelude {
     pub use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
+    pub use rlckit_circuit::tree::{measure_tree_delays, TreeSpec};
     pub use rlckit_core::load::GateRlcLoad;
     pub use rlckit_core::model::{propagation_delay, scaled_delay};
     pub use rlckit_coupling::bus::UniformBusSpec;
@@ -27,17 +28,19 @@ pub mod prelude {
     pub use rlckit_interconnect::merit::{assess_inductance, t_l_over_r};
     pub use rlckit_interconnect::technology::Technology;
     pub use rlckit_interconnect::twoport::DrivenLine;
-    pub use rlckit_interconnect::DistributedLine;
+    pub use rlckit_interconnect::{DistributedLine, RoutingTree};
     pub use rlckit_reduce::{
         prima, reduce_bus, reduce_ladder, PoleResidueModel, ReducedBus, ReducedLadder,
         ReductionOptions, StepMetrics,
     };
     pub use rlckit_repeater::design::{DesignStrategy, RepeaterDesigner};
+    pub use rlckit_repeater::tree::evaluate_tree_repeaters;
     pub use rlckit_repeater::RepeaterProblem;
     pub use rlckit_sweep::cache::SweepCache;
     pub use rlckit_sweep::eval::{
         BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
         ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
+        TreeDelayEvaluator,
     };
     pub use rlckit_sweep::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
     pub use rlckit_sweep::scenario::{Param, Scenario, TechnologyNode};

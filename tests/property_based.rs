@@ -162,3 +162,146 @@ proptest! {
         prop_assert!((t.seconds() - ohms * farads).abs() <= 1e-12 * (ohms * farads).abs());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Three-way solver-backend equivalence: dense vs banded vs sparse on ladders,
+// coupled buses and random trees, plus singular-rejection parity. Each case
+// assembles one MNA system, factorises it under every forced backend and
+// compares the solutions of the same right-hand side to 1e-9.
+// ---------------------------------------------------------------------------
+
+use rlckit::circuit::dc::operating_point_of;
+use rlckit::circuit::ladder::LadderSpec;
+use rlckit::circuit::mna::MnaSystem;
+use rlckit::circuit::solve::factor_real;
+use rlckit::circuit::tree::{TreeBranch, TreeSpec};
+use rlckit::circuit::{CircuitError, SolverBackend};
+use rlckit::coupling::netlist::build_bus_circuit;
+use rlckit::coupling::scenario::SwitchingPattern;
+use rlckit::units::{
+    CapacitancePerLength, InductancePerLength, ResistancePerLength, Time, Voltage,
+};
+
+const BACKENDS: [SolverBackend; 3] =
+    [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse];
+
+/// DC-solves one assembled system under every forced backend and asserts the
+/// states agree to 1e-9.
+fn assert_backends_agree(mna: &MnaSystem, context: &str) {
+    let t = Time::from_picoseconds(3.0);
+    let reference = operating_point_of(mna, t, SolverBackend::Dense).expect("dense DC solves");
+    for backend in [SolverBackend::Banded, SolverBackend::Sparse] {
+        let other = operating_point_of(mna, t, backend).expect("backend DC solves");
+        for (i, (d, o)) in reference.state().iter().zip(other.state().iter()).enumerate() {
+            assert!(
+                (d - o).abs() < 1e-9,
+                "{context}: dense vs {backend:?} differ at unknown {i}: {d} vs {o}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn three_backends_agree_on_ladders(
+        rt in 10.0f64..2e3,
+        lt in 1e-9f64..5e-8,
+        ct in 2e-13f64..3e-12,
+        segments_f in 10.0f64..40.0,
+    ) {
+        let segments = segments_f as usize;
+        let spec = LadderSpec::new(
+            Resistance::from_ohms(rt),
+            Inductance::from_henries(lt),
+            Capacitance::from_farads(ct),
+            Resistance::from_ohms(100.0),
+            Capacitance::from_femtofarads(30.0),
+        );
+        let spec = LadderSpec { segments, ..spec };
+        let line = spec.build().expect("ladder builds");
+        let mna = MnaSystem::build(&line.circuit).expect("ladder assembles");
+        assert_backends_agree(&mna, "ladder");
+    }
+
+    #[test]
+    fn three_backends_agree_on_coupled_buses(
+        lines_f in 2.0f64..5.0,
+        sections_f in 4.0f64..12.0,
+        coupling in 0.05f64..0.4,
+    ) {
+        let lines = lines_f as usize;
+        let sections = sections_f as usize;
+        let spec = rlckit::coupling::bus::UniformBusSpec {
+            lines,
+            resistance: ResistancePerLength::from_ohms_per_millimeter(50.0),
+            self_inductance: InductancePerLength::from_nanohenries_per_millimeter(1.0),
+            ground_capacitance: CapacitancePerLength::from_femtofarads_per_micrometer(0.1),
+            coupling_capacitance: CapacitancePerLength::from_femtofarads_per_micrometer(0.08),
+            inductive_coupling: (1..lines).map(|d| coupling * 0.43f64.powi(d as i32 - 1)).collect(),
+            length: Length::from_millimeters(2.0),
+        };
+        let bus = spec.build().expect("bus builds");
+        let drive = rlckit::coupling::netlist::BusDrive::new(
+            Resistance::from_ohms(120.0),
+            Capacitance::from_femtofarads(20.0),
+            Voltage::from_volts(1.0),
+        )
+        .with_sections(sections);
+        let pattern = SwitchingPattern::odd_mode(lines / 2, lines).expect("odd mode");
+        let circuit = build_bus_circuit(&bus, &pattern, &drive).expect("bus netlist builds");
+        let mna = MnaSystem::build(&circuit.circuit).expect("bus assembles");
+        assert_backends_agree(&mna, "coupled bus");
+    }
+
+    #[test]
+    fn three_backends_agree_on_random_trees(
+        shape in proptest::collection::vec(0.0f64..1.0, 11),
+        scale in 0.5f64..2.0,
+    ) {
+        // Branch i attaches to a pseudo-random earlier branch: `shape` drives
+        // the topology, so the cases cover chains, stars and everything
+        // between.
+        let mut spec = TreeSpec::new(Resistance::from_ohms(150.0));
+        for (i, &u) in shape.iter().enumerate() {
+            let parent = if i == 0 { None } else { Some((u * i as f64) as usize % i) };
+            spec.branches.push(TreeBranch {
+                parent,
+                total_resistance: Resistance::from_ohms(100.0 * scale),
+                total_inductance: Inductance::from_nanohenries(2.0 * scale),
+                total_capacitance: Capacitance::from_picofarads(0.2 * scale),
+                segments: 4,
+                sink_capacitance: Capacitance::from_femtofarads(10.0),
+            });
+        }
+        let net = spec.build().expect("tree builds");
+        let mna = MnaSystem::build(&net.circuit).expect("tree assembles");
+        assert_backends_agree(&mna, "random tree");
+    }
+
+    #[test]
+    fn singular_rejection_parity_across_backends(segments_f in 2.0f64..12.0) {
+        let segments = segments_f as usize;
+        // 0·G + 0·C is exactly singular; every backend must report it as a
+        // SingularSystem with the caller's stage string, not panic or return
+        // garbage.
+        let spec = LadderSpec::new(
+            Resistance::from_ohms(100.0),
+            Inductance::from_nanohenries(5.0),
+            Capacitance::from_picofarads(1.0),
+            Resistance::from_ohms(50.0),
+            Capacitance::from_femtofarads(10.0),
+        );
+        let spec = LadderSpec { segments, ..spec };
+        let line = spec.build().expect("ladder builds");
+        let mna = MnaSystem::build(&line.circuit).expect("assembles");
+        for backend in BACKENDS {
+            let result = factor_real(&mna, 0.0, 0.0, backend, "parity test");
+            prop_assert!(
+                matches!(result, Err(CircuitError::SingularSystem { stage: "parity test" })),
+                "{backend:?} must reject the zero matrix"
+            );
+        }
+    }
+}
