@@ -1,4 +1,6 @@
-//! Sparse vs dense (and banded) solver scaling on branching RLC trees.
+//! Sparse vs dense (and banded) solver scaling on branching RLC trees,
+//! plus the power-grid mesh workload that scales the sparse kernel to
+//! 10⁵⁺ unknowns.
 //!
 //! Tree-shaped MNA systems are the workload the banded kernel cannot help
 //! with: under any ordering their bandwidth grows with the fan-out, so band
@@ -7,6 +9,16 @@
 //! times a fixed 200-step transient run under each forced backend, and
 //! writes the measurements — including the dense/sparse speedup per size —
 //! into the perf trajectory as `BENCH_tree.json`.
+//!
+//! Meshes go where trees cannot: a regular grid has no fill-free elimination
+//! order, so it exercises the AMD ordering quality and the value-only
+//! refactorisation path for real. The mesh sweep factors each grid cold
+//! (symbolic analysis + pivoting Gilbert–Peierls), refactors it warm
+//! (frozen pattern, new values — the per-timestep/per-frequency operation),
+//! records the `refactor_speedup` ratio, and runs a short bounded-step
+//! transient at every size up to a ≥100 000-unknown grid in the full run.
+//! Every size also records its fill ratio `(nnz(L)+nnz(U))/nnz(A)` so
+//! ordering-quality regressions show up in the trajectory, not just time.
 //!
 //! The dense and banded kernels are only swept while the MNA dimension stays
 //! below [`FULL_KERNEL_DIM_LIMIT`]: beyond that a single dense factorisation
@@ -19,11 +31,14 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use rlckit_bench::report::{smoke_or, PerfReport};
+use rlckit_circuit::mesh::MeshSpec;
 use rlckit_circuit::mna::MnaSystem;
+use rlckit_circuit::netlist::Circuit;
 use rlckit_circuit::transient::{run_transient, TransientOptions};
 use rlckit_circuit::tree::TreeSpec;
 use rlckit_circuit::SolverBackend;
 use rlckit_interconnect::{DistributedLine, RoutingTree};
+use rlckit_numeric::sparse::SparseLuFactor;
 use rlckit_units::{
     Capacitance, CapacitancePerLength, InductancePerLength, Length, Resistance,
     ResistancePerLength, Time, Voltage,
@@ -39,8 +54,21 @@ fn shapes() -> Vec<(usize, usize, usize)> {
     )
 }
 
+/// Mesh shapes swept: `(rows, cols)` power-grid style RC grids. The full
+/// sweep tops out past 100 000 unknowns (317² junctions); smoke mode keeps
+/// two cheap grids whose labels are a subset of the full run's while still
+/// exercising every mesh record family.
+fn mesh_shapes() -> Vec<(usize, usize)> {
+    smoke_or(vec![(8, 8), (24, 24)], vec![(8, 8), (24, 24), (100, 100), (180, 180), (317, 317)])
+}
+
 /// Largest MNA dimension the dense and banded kernels are still timed at.
 const FULL_KERNEL_DIM_LIMIT: usize = 1300;
+
+/// Transient steps run per mesh size: enough substitutions to dominate a
+/// single factorisation without `O(steps·n)` state storage exploding at
+/// the 100 000-unknown grid.
+const MESH_TRANSIENT_STEPS: u32 = 50;
 
 /// The paper's Fig. 1 electrical regime as the root-to-sink path: 10 mm of
 /// 50 Ω/mm, 1 nH/mm, 0.1 fF/µm wire behind a 250 Ω driver.
@@ -58,10 +86,20 @@ fn tree_spec(levels: usize, fanout: usize, segments: usize) -> TreeSpec {
         .expect("bench trees lower to circuit specs")
 }
 
-/// MNA dimension of a shape — the "node count" the records are labelled by.
-fn mna_dim(spec: &TreeSpec) -> usize {
-    let net = spec.build().expect("bench tree builds");
-    MnaSystem::build(&net.circuit).expect("bench tree assembles").dim()
+/// A power-grid style RC mesh: 2 Ω segments, 10 fF junctions, a 10 Ω pad.
+fn mesh_spec(rows: usize, cols: usize) -> MeshSpec {
+    MeshSpec::new(
+        rows,
+        cols,
+        Resistance::from_ohms(2.0),
+        Capacitance::from_femtofarads(10.0),
+        Resistance::from_ohms(10.0),
+    )
+}
+
+/// MNA dimension of a circuit — the "node count" the records are labelled by.
+fn mna_dim(circuit: &Circuit) -> usize {
+    MnaSystem::build(circuit).expect("bench circuit assembles").dim()
 }
 
 /// A fixed 200-step horizon so every size pays one factorisation plus the
@@ -86,7 +124,7 @@ fn bench_tree_scaling(c: &mut Criterion) {
     group.sample_size(smoke_or(2, 10));
     for (levels, fanout, segments) in shapes() {
         let spec = tree_spec(levels, fanout, segments);
-        let dim = mna_dim(&spec);
+        let dim = mna_dim(&spec.build().expect("bench tree builds").circuit);
         group.bench_with_input(BenchmarkId::new("sparse", dim), &spec, |b, spec| {
             let net = spec.build().expect("bench tree builds");
             let opts = options(SolverBackend::Sparse);
@@ -103,6 +141,43 @@ fn bench_tree_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold-factor, warm-refactor and fill statistics of one assembled system.
+struct KernelStats {
+    /// One pivoting factorisation from the symbolic analysis, seconds.
+    factor: f64,
+    /// One value-only refactorisation of the frozen pattern, seconds
+    /// (best of three, so scheduler noise cannot fake a slowdown).
+    refactor: f64,
+    /// `(nnz(L) + nnz(U)) / nnz(A)`.
+    fill_ratio: f64,
+    /// `nnz(L)` (unit diagonal included).
+    l_nnz: f64,
+}
+
+/// Times the sparse kernel directly on a circuit's transient-step matrix
+/// `G + C/dt`, then refactors the same pattern with a different timestep
+/// scalar — the exact warm operation a timestep change or AC sweep pays.
+fn kernel_stats(circuit: &Circuit) -> KernelStats {
+    let mna = MnaSystem::build(circuit).expect("bench circuit assembles");
+    let dt = 1e-12;
+    let a = mna.assemble_csc_real(1.0, 1.0 / dt);
+    let start = Instant::now();
+    let mut factor =
+        SparseLuFactor::factor(&a, mna.sparse_symbolic()).expect("bench system factors");
+    let factor_time = start.elapsed().as_secs_f64();
+    let fill_ratio = (factor.l_nnz() + factor.u_nnz()) as f64 / a.nnz() as f64;
+    let l_nnz = factor.l_nnz() as f64;
+    let a2 = mna.assemble_csc_real(1.0, 2.0 / dt);
+    let mut refactor_time = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        factor.refactor(black_box(&a2)).expect("bench system refactors");
+        refactor_time = refactor_time.min(start.elapsed().as_secs_f64());
+    }
+    black_box(factor.solve(&vec![1.0; mna.dim()]));
+    KernelStats { factor: factor_time, refactor: refactor_time, fill_ratio, l_nnz }
+}
+
 /// One timed pass per configuration, written to `BENCH_tree.json`.
 ///
 /// Criterion's own numbers stay on stdout; this single-shot sweep is what the
@@ -111,9 +186,13 @@ fn write_perf_trajectory() {
     let mut report = PerfReport::new("tree");
     for (levels, fanout, segments) in shapes() {
         let spec = tree_spec(levels, fanout, segments);
-        let dim = mna_dim(&spec);
+        let net = spec.build().expect("bench tree builds");
+        let dim = mna_dim(&net.circuit);
         report.push(format!("nodes/{dim}"), dim as f64, "count");
         report.push(format!("branches/{dim}"), spec.branches.len() as f64, "count");
+        let stats = kernel_stats(&net.circuit);
+        report.push(format!("fill_ratio/{dim}"), stats.fill_ratio, "x");
+        report.push(format!("l_nnz/{dim}"), stats.l_nnz, "count");
         let sparse = time_one(&spec, SolverBackend::Sparse);
         report.push(format!("sparse/{dim}"), sparse, "seconds");
         if dim <= FULL_KERNEL_DIM_LIMIT {
@@ -125,16 +204,55 @@ fn write_perf_trajectory() {
             report.push(format!("speedup/{dim}"), speedup, "x");
             report.push(format!("speedup_vs_banded/{dim}"), banded / sparse, "x");
             println!(
-                "{dim:>5} unknowns ({levels} levels x {fanout} fanout): sparse {sparse:.4} s, \
+                "{dim:>6} unknowns ({levels} levels x {fanout} fanout): sparse {sparse:.4} s, \
                  dense {dense:.4} s, banded {banded:.4} s, dense/sparse speedup {speedup:.1}x"
             );
         } else {
             println!(
-                "{dim:>5} unknowns ({levels} levels x {fanout} fanout): sparse {sparse:.4} s \
+                "{dim:>6} unknowns ({levels} levels x {fanout} fanout): sparse {sparse:.4} s \
                  (dense and banded skipped)"
             );
         }
     }
+    let mut largest_speedup = None;
+    for (rows, cols) in mesh_shapes() {
+        let spec = mesh_spec(rows, cols);
+        let net = spec.build().expect("bench mesh builds");
+        let dim = mna_dim(&net.circuit);
+        report.push(format!("mesh_nodes/{dim}"), dim as f64, "count");
+        let stats = kernel_stats(&net.circuit);
+        let speedup = stats.factor / stats.refactor;
+        report.push(format!("mesh_factor/{dim}"), stats.factor, "seconds");
+        report.push(format!("mesh_refactor/{dim}"), stats.refactor, "seconds");
+        report.push(format!("refactor_speedup/{dim}"), speedup, "x");
+        report.push(format!("mesh_fill_ratio/{dim}"), stats.fill_ratio, "x");
+        report.push(format!("mesh_l_nnz/{dim}"), stats.l_nnz, "count");
+        // A short bounded-step transient: one factorisation plus
+        // `MESH_TRANSIENT_STEPS` substitutions, sparse-forced.
+        let step = Time::from_picoseconds(1.0);
+        let opts = TransientOptions::new(step * f64::from(MESH_TRANSIENT_STEPS), step)
+            .with_backend(SolverBackend::Sparse);
+        let start = Instant::now();
+        let result = run_transient(black_box(&net.circuit), &opts).expect("mesh simulates");
+        let transient = start.elapsed().as_secs_f64();
+        black_box(result.len());
+        report.push(format!("mesh_transient/{dim}"), transient, "seconds");
+        largest_speedup = Some(speedup);
+        println!(
+            "{dim:>6} unknowns ({rows}x{cols} mesh): factor {:.4} s, refactor {:.4} s \
+             (speedup {speedup:.1}x), fill ratio {:.2}, {MESH_TRANSIENT_STEPS}-step transient \
+             {transient:.4} s",
+            stats.factor, stats.refactor, stats.fill_ratio
+        );
+    }
+    // The warm path must stay clearly ahead of a cold factorisation at the
+    // largest grid of the sweep — the whole point of the refactor path.
+    let speedup = largest_speedup.expect("mesh sweep is never empty");
+    assert!(
+        speedup >= 2.0,
+        "value-only refactorisation must be at least 2x faster than a cold \
+         factorisation at the largest mesh (got {speedup:.2}x)"
+    );
     // The bench process runs with the package directory as CWD; anchor the
     // trajectory file at the workspace root where the other BENCH_*.json live.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

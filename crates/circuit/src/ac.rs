@@ -17,7 +17,7 @@ use rlckit_units::Frequency;
 use crate::error::CircuitError;
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId, SourceId};
-use crate::solve::factor_complex;
+use crate::solve::{factor_complex, FactoredMna};
 
 /// Complex-frequency solution of a circuit for one excitation.
 #[derive(Debug, Clone)]
@@ -71,6 +71,29 @@ pub fn solve_at_with(
     Ok(AcSolution { state })
 }
 
+/// Solves the circuit at one complex frequency for several excitations at
+/// once — each source in turn driven at unit amplitude with the others off.
+///
+/// One factorisation and one blocked multi-right-hand-side substitution
+/// ([`FactoredMna::solve_many`]) cover every port, so a full MIMO transfer
+/// matrix column set costs one factor instead of one per port.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_at`], per source.
+pub fn solve_at_many(
+    circuit: &Circuit,
+    sources: &[SourceId],
+    s: Complex,
+    backend: SolverBackend,
+) -> Result<Vec<AcSolution>, CircuitError> {
+    let mna = MnaSystem::build(circuit)?;
+    let rhs =
+        sources.iter().map(|&source| mna.unit_excitation(source)).collect::<Result<Vec<_>, _>>()?;
+    let factor = factor_complex(&mna, s, backend, "ac analysis")?;
+    Ok(factor.solve_many(&rhs).into_iter().map(|state| AcSolution { state }).collect())
+}
+
 /// Transfer function `V(node)/V(source)` at a single complex frequency.
 ///
 /// # Errors
@@ -108,10 +131,17 @@ pub fn frequency_sweep(
     let b = mna.unit_excitation(source)?;
     let row = mna.row_of_node(node);
     let mut out = Vec::with_capacity(frequencies.len());
+    // Factor the first frequency cold, then re-derive the factors per
+    // frequency on the warm path: the pattern of `G + s·C` never changes
+    // across a sweep, so the sparse kernel only redoes numeric work.
+    let mut factor: Option<FactoredMna<Complex>> = None;
     for &f in frequencies {
         let s = Complex::new(0.0, f.angular());
-        let factor = factor_complex(&mna, s, SolverBackend::Auto, "ac analysis")?;
-        let state = factor.solve(&b);
+        match factor.as_mut() {
+            None => factor = Some(factor_complex(&mna, s, SolverBackend::Auto, "ac analysis")?),
+            Some(warm) => warm.refactor_complex(&mna, s, "ac analysis")?,
+        }
+        let state = factor.as_ref().expect("factored above").solve(&b);
         let h = match row {
             Some(r) => state[r],
             None => Complex::ZERO,
@@ -259,6 +289,37 @@ mod tests {
                     (got - want).abs() < 1e-6 * want.abs().max(1.0),
                     "s = {s} ({backend:?}): got {got}, want {want}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_at_many_matches_per_source_solves() {
+        // Two independently driven RC arms sharing a ground: two ports.
+        let mut c = Circuit::new();
+        let gnd = c.ground();
+        let in1 = c.add_node();
+        let out1 = c.add_node();
+        let in2 = c.add_node();
+        let out2 = c.add_node();
+        let s1 = c.add_voltage_source(in1, gnd, SourceWaveform::unit_step()).unwrap();
+        let s2 = c.add_voltage_source(in2, gnd, SourceWaveform::unit_step()).unwrap();
+        c.add_resistor(in1, out1, Resistance::from_ohms(500.0)).unwrap();
+        c.add_capacitor(out1, gnd, Capacitance::from_picofarads(2.0)).unwrap();
+        c.add_resistor(in2, out2, Resistance::from_ohms(800.0)).unwrap();
+        c.add_capacitor(out2, gnd, Capacitance::from_picofarads(1.0)).unwrap();
+        c.add_resistor(out1, out2, Resistance::from_ohms(2000.0)).unwrap();
+
+        let s = Complex::new(0.0, 3e8);
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let many = solve_at_many(&c, &[s1, s2], s, backend).unwrap();
+            assert_eq!(many.len(), 2);
+            for (source, sol) in [s1, s2].iter().zip(many.iter()) {
+                let one = solve_at_with(&c, *source, s, backend).unwrap();
+                for node in [out1, out2] {
+                    let d = sol.node_voltage(node) - one.node_voltage(node);
+                    assert!(d.abs() < 1e-12, "{backend:?}: multi vs single differ by {d}");
+                }
             }
         }
     }

@@ -30,7 +30,10 @@
 //!   ladders (the circuit of Fig. 1 in the paper);
 //! * [`tree`] — gate-driven branching RLC nets ([`tree::TreeSpec`]) with
 //!   per-sink delay/overshoot extraction, the workload of the sparse solver
-//!   backend.
+//!   backend;
+//! * [`mesh`] — gate-driven regular RC(L) grids ([`mesh::MeshSpec`]), the
+//!   power-grid/clock-mesh workload that forces genuine fill and scales the
+//!   sparse kernel to 10⁵⁺ unknowns.
 //!
 //! # Example: 50% delay of a driven RLC line
 //!
@@ -73,6 +76,7 @@ pub mod ac;
 pub mod dc;
 pub mod error;
 pub mod ladder;
+pub mod mesh;
 pub mod mna;
 pub mod netlist;
 pub mod solve;

@@ -71,6 +71,25 @@ pub struct MnaSystem {
     /// sparse use and shared by every sparse factorisation of this system
     /// (DC, transient, AC frequencies).
     sparse_symbolic: std::sync::OnceLock<SparseSymbolic>,
+    /// Stamp→CSC scatter map of the union pattern, computed on first CSC
+    /// assembly; later assemblies only write values.
+    csc_assembly: std::sync::OnceLock<CscAssembly>,
+}
+
+/// The triplet→CSC position map behind [`MnaSystem::assemble_csc_real`] and
+/// [`MnaSystem::assemble_csc_complex`]: the union sparsity pattern of `G` and
+/// `C` (every stamp position kept, even where values cancel, so the pattern
+/// is identical for every `(gs, cs)`) plus, per stamp, the index of its value
+/// slot. Building it costs one sort of the pattern; every assembly after that
+/// is a single `O(stamps)` scatter pass.
+#[derive(Debug, Clone)]
+struct CscAssembly {
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    /// `g_pos[t]` = value slot of the `t`-th `G` stamp.
+    g_pos: Vec<usize>,
+    /// `c_pos[t]` = value slot of the `t`-th `C` stamp.
+    c_pos: Vec<usize>,
 }
 
 impl MnaSystem {
@@ -193,6 +212,7 @@ impl MnaSystem {
             kl,
             ku,
             sparse_symbolic: std::sync::OnceLock::new(),
+            csc_assembly: std::sync::OnceLock::new(),
         })
     }
 
@@ -216,27 +236,72 @@ impl MnaSystem {
         self.g_stamps.len() + self.c_stamps.len()
     }
 
+    /// The stamp→CSC scatter map, built on first use.
+    fn csc_assembly(&self) -> &CscAssembly {
+        self.csc_assembly.get_or_init(|| {
+            let n = self.dim;
+            let mut per_col: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for &(r, c, _) in self.g_stamps.iter().chain(self.c_stamps.iter()) {
+                per_col[c].push(r);
+            }
+            let mut col_ptr = Vec::with_capacity(n + 1);
+            let mut row_idx = Vec::new();
+            col_ptr.push(0);
+            for col in &mut per_col {
+                col.sort_unstable();
+                col.dedup();
+                row_idx.extend_from_slice(col);
+                col_ptr.push(row_idx.len());
+            }
+            let pos_of = |r: usize, c: usize| -> usize {
+                let lo = col_ptr[c];
+                let rows = &row_idx[lo..col_ptr[c + 1]];
+                lo + rows.binary_search(&r).expect("stamp position is in the union pattern")
+            };
+            let g_pos = self.g_stamps.iter().map(|&(r, c, _)| pos_of(r, c)).collect();
+            let c_pos = self.c_stamps.iter().map(|&(r, c, _)| pos_of(r, c)).collect();
+            CscAssembly { col_ptr, row_idx, g_pos, c_pos }
+        })
+    }
+
     /// Assembles `gs·G + cs·C` in compressed-sparse-column form, in logical
     /// (node/branch) order — the sparse backend applies its own fill-reducing
     /// ordering, so no relabelling happens here.
+    ///
+    /// Every assembly of one system shares the union pattern of `G` and `C`
+    /// (stamp positions whose values cancel stay stored as explicit zeros),
+    /// built once and then only re-valued — which is exactly the pattern
+    /// stability [`rlckit_numeric::sparse::SparseLuFactor::refactor`] needs
+    /// to reuse a factorisation across `(gs, cs)` pairs.
     pub fn assemble_csc_real(&self, gs: f64, cs: f64) -> CscMatrix<f64> {
-        let mut triplets = Vec::with_capacity(self.stamp_count());
+        let map = self.csc_assembly();
+        let mut values = vec![0.0; map.row_idx.len()];
         if gs != 0.0 {
-            triplets.extend(self.g_stamps.iter().map(|&(r, c, v)| (r, c, gs * v)));
+            for (&(_, _, v), &p) in self.g_stamps.iter().zip(&map.g_pos) {
+                values[p] += gs * v;
+            }
         }
         if cs != 0.0 {
-            triplets.extend(self.c_stamps.iter().map(|&(r, c, v)| (r, c, cs * v)));
+            for (&(_, _, v), &p) in self.c_stamps.iter().zip(&map.c_pos) {
+                values[p] += cs * v;
+            }
         }
-        CscMatrix::from_triplets(self.dim, &triplets)
+        CscMatrix::from_parts(self.dim, map.col_ptr.clone(), map.row_idx.clone(), values)
     }
 
     /// Assembles the complex system `G + s·C` in compressed-sparse-column
-    /// form, in logical order.
+    /// form, in logical order, on the same shared union pattern as
+    /// [`MnaSystem::assemble_csc_real`].
     pub fn assemble_csc_complex(&self, s: Complex) -> CscMatrix<Complex> {
-        let mut triplets = Vec::with_capacity(self.stamp_count());
-        triplets.extend(self.g_stamps.iter().map(|&(r, c, v)| (r, c, Complex::from_real(v))));
-        triplets.extend(self.c_stamps.iter().map(|&(r, c, v)| (r, c, s * v)));
-        CscMatrix::from_triplets(self.dim, &triplets)
+        let map = self.csc_assembly();
+        let mut values = vec![Complex::ZERO; map.row_idx.len()];
+        for (&(_, _, v), &p) in self.g_stamps.iter().zip(&map.g_pos) {
+            values[p] += Complex::from_real(v);
+        }
+        for (&(_, _, v), &p) in self.c_stamps.iter().zip(&map.c_pos) {
+            values[p] += s * v;
+        }
+        CscMatrix::from_parts(self.dim, map.col_ptr.clone(), map.row_idx.clone(), values)
     }
 
     /// Computes `y = (gs·G + cs·C)·x` in logical order directly from the

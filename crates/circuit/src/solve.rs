@@ -73,6 +73,26 @@ impl<T: Scalar> FactoredMna<T> {
         }
     }
 
+    /// Solves `A·X = B` for many right-hand sides with the one stored
+    /// factorisation, everything in logical order.
+    ///
+    /// One blocked substitution pass instead of a solve per column — the
+    /// multi-port/multi-excitation path (MIMO transfer matrices, sweep
+    /// cells, AC ports) on every backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any right-hand side's length differs from the dimension.
+    pub fn solve_many(&self, rhs: &[Vec<T>]) -> Vec<Vec<T>> {
+        match &self.perm {
+            Some(perm) => {
+                let packed: Vec<Vec<T>> = rhs.iter().map(|b| scatter(perm, b)).collect();
+                self.solver.solve_many(&packed).iter().map(|x| gather(perm, x)).collect()
+            }
+            None => self.solver.solve_many(rhs),
+        }
+    }
+
     /// The kernel the backend dispatch selected (dense, banded or sparse).
     pub fn backend(&self) -> ResolvedBackend {
         self.solver.backend()
@@ -82,6 +102,79 @@ impl<T: Scalar> FactoredMna<T> {
     /// dense/banded paths, logical order for the sparse path).
     pub fn packed_solver(&self) -> &FactoredSolver<T> {
         &self.solver
+    }
+}
+
+impl FactoredMna<f64> {
+    /// Re-derives the factors for new scalars `(gs, cs)` of the same system,
+    /// warm where the kernel allows it.
+    ///
+    /// On the sparse path this is a value-only refactorisation: the
+    /// scatter-map assembly rewrites the values of the shared union pattern
+    /// in place and [`FactoredSolver::refactor_csc`] reuses the frozen pivot
+    /// sequence and fill pattern — no symbolic work, no pivot search, no
+    /// factor-storage allocation. Dense and banded kernels factor afresh
+    /// (they have no symbolic phase to reuse) but stay on their kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularSystem`] tagged with `stage` if the
+    /// new matrix cannot be factorised; the previous factors are lost.
+    pub fn refactor_real(
+        &mut self,
+        mna: &MnaSystem,
+        gs: f64,
+        cs: f64,
+        stage: &'static str,
+    ) -> Result<(), CircuitError> {
+        if self.perm.is_none() && self.solver.backend() == ResolvedBackend::Sparse {
+            let a = mna.assemble_csc_real(gs, cs);
+            return self
+                .solver
+                .refactor_csc(&a)
+                .map_err(|_| CircuitError::SingularSystem { stage });
+        }
+        let a = mna.assemble_real(gs, cs);
+        *self = FactoredMna::factor(mna, &a, force_backend(self.solver.backend()), stage)?;
+        Ok(())
+    }
+}
+
+impl FactoredMna<rlckit_numeric::complex::Complex> {
+    /// Re-derives the factors for a new complex frequency `s` of the same
+    /// system — the per-frequency step of an AC sweep — warm where the
+    /// kernel allows it, exactly like [`FactoredMna::refactor_real`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SingularSystem`] tagged with `stage` if the
+    /// new matrix cannot be factorised; the previous factors are lost.
+    pub fn refactor_complex(
+        &mut self,
+        mna: &MnaSystem,
+        s: rlckit_numeric::complex::Complex,
+        stage: &'static str,
+    ) -> Result<(), CircuitError> {
+        if self.perm.is_none() && self.solver.backend() == ResolvedBackend::Sparse {
+            let a = mna.assemble_csc_complex(s);
+            return self
+                .solver
+                .refactor_csc(&a)
+                .map_err(|_| CircuitError::SingularSystem { stage });
+        }
+        let a = mna.assemble_complex(s);
+        *self = FactoredMna::factor(mna, &a, force_backend(self.solver.backend()), stage)?;
+        Ok(())
+    }
+}
+
+/// Pins an already-resolved kernel as an explicit backend request, so a
+/// refactorisation can never hop kernels mid-analysis.
+fn force_backend(resolved: ResolvedBackend) -> SolverBackend {
+    match resolved {
+        ResolvedBackend::Dense => SolverBackend::Dense,
+        ResolvedBackend::Banded => SolverBackend::Banded,
+        ResolvedBackend::Sparse => SolverBackend::Sparse,
     }
 }
 
@@ -249,6 +342,70 @@ mod tests {
         for (u, v) in sparse_c.solve(&bc).iter().zip(banded_c.solve(&bc).iter()) {
             assert!((*u - *v).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn solve_many_matches_solve_on_every_backend() {
+        let circuit = chain(25);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..mna.dim()).map(|i| ((i + 7 * k) as f64 * 0.11).sin()).collect())
+            .collect();
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let f = factor_real(&mna, 1.0, 1e12, backend, "test").unwrap();
+            let many = f.solve_many(&rhs);
+            for (b, x) in rhs.iter().zip(many.iter()) {
+                let one = f.solve(b);
+                for (m, o) in x.iter().zip(one.iter()) {
+                    assert!((m - o).abs() < 1e-12, "{backend:?}: solve_many {m} vs solve {o}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_tracks_new_scalars_on_every_backend() {
+        let circuit = chain(25);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let mut b = vec![0.0; mna.dim()];
+        mna.rhs_at(Time::from_picoseconds(1.0), &mut b);
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let mut f = factor_real(&mna, 1.0, 0.0, backend, "test").unwrap();
+            let kernel = f.backend();
+            f.refactor_real(&mna, 1.0, 1e12, "test").unwrap();
+            assert_eq!(f.backend(), kernel, "refactor must stay on its kernel");
+            let warm = f.solve(&b);
+            let fresh = factor_real(&mna, 1.0, 1e12, backend, "test").unwrap().solve(&b);
+            for (w, fr) in warm.iter().zip(fresh.iter()) {
+                assert!((w - fr).abs() < 1e-12, "{backend:?}: refactor {w} vs fresh {fr}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_complex_tracks_new_frequency() {
+        let circuit = chain(25);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let bc = mna.unit_excitation(crate::netlist::SourceId(0)).unwrap();
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let mut f = factor_complex(&mna, Complex::new(0.0, 1e9), backend, "test").unwrap();
+            let s2 = Complex::new(0.0, 3e10);
+            f.refactor_complex(&mna, s2, "test").unwrap();
+            let warm = f.solve(&bc);
+            let fresh = factor_complex(&mna, s2, backend, "test").unwrap().solve(&bc);
+            for (w, fr) in warm.iter().zip(fresh.iter()) {
+                assert!((*w - *fr).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_reports_singular_with_the_stage() {
+        let circuit = chain(4);
+        let mna = MnaSystem::build(&circuit).unwrap();
+        let mut f = factor_real(&mna, 1.0, 0.0, SolverBackend::Sparse, "test").unwrap();
+        let err = f.refactor_real(&mna, 0.0, 0.0, "warm stage").unwrap_err();
+        assert!(matches!(err, CircuitError::SingularSystem { stage: "warm stage" }));
     }
 
     #[test]

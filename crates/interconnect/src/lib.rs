@@ -43,6 +43,7 @@ pub mod error;
 pub mod geometry;
 pub mod line;
 pub mod merit;
+pub mod mesh;
 pub mod moments;
 pub mod technology;
 pub mod tree;
@@ -50,6 +51,7 @@ pub mod twoport;
 
 pub use error::InterconnectError;
 pub use line::DistributedLine;
+pub use mesh::MeshGeometry;
 pub use technology::Technology;
 pub use tree::{RoutingBranch, RoutingTree};
 pub use twoport::DrivenLine;

@@ -177,6 +177,55 @@ impl<T: Scalar> FactoredSolver<T> {
         }
     }
 
+    /// Solves `A·X = B` for many right-hand sides with the one stored
+    /// factorisation.
+    ///
+    /// The sparse kernel runs its blocked substitution
+    /// ([`SparseLuFactor::solve_many`] — each factor column applied to every
+    /// right-hand side while hot); the dense and banded kernels, whose
+    /// factors are contiguous anyway, simply loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any right-hand side's length differs from the dimension.
+    pub fn solve_many(&self, rhs: &[Vec<T>]) -> Vec<Vec<T>> {
+        match self {
+            Self::Sparse(f) => f.solve_many(rhs),
+            _ => rhs.iter().map(|b| self.solve(b)).collect(),
+        }
+    }
+
+    /// Re-derives the factors for a matrix with the same sparsity pattern as
+    /// the one originally factored, staying on the same kernel.
+    ///
+    /// On the sparse kernel this is the value-only warm path
+    /// ([`SparseLuFactor::refactor`]): frozen pivot sequence and fill
+    /// pattern, no symbolic work, no allocation. The dense and banded
+    /// kernels have no symbolic phase to reuse, so they factor afresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FactorizeError`] from the kernel; on an error the
+    /// previous factors must be considered lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics (sparse kernel) if `a` has an entry outside the originally
+    /// factored fill pattern.
+    pub fn refactor_csc(&mut self, a: &CscMatrix<T>) -> Result<(), FactorizeError> {
+        match self {
+            Self::Sparse(f) => f.refactor(a),
+            Self::Dense(_) => {
+                *self = Self::factor_csc(a, SolverBackend::Dense)?;
+                Ok(())
+            }
+            Self::Banded(_) => {
+                *self = Self::factor_csc(a, SolverBackend::Banded)?;
+                Ok(())
+            }
+        }
+    }
+
     /// Dimension of the factorised matrix.
     pub fn dim(&self) -> usize {
         match self {
@@ -296,5 +345,43 @@ mod tests {
     #[test]
     fn default_backend_is_auto() {
         assert_eq!(SolverBackend::default(), SolverBackend::Auto);
+    }
+
+    #[test]
+    fn solve_many_matches_solve_on_every_backend() {
+        let a = CscMatrix::from_banded(&tridiagonal(25));
+        let rhs: Vec<Vec<f64>> =
+            (0..4).map(|k| (0..25).map(|i| ((i + k) as f64 * 0.3).sin()).collect()).collect();
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let f = FactoredSolver::factor_csc(&a, backend).unwrap();
+            let many = f.solve_many(&rhs);
+            for (b, x) in rhs.iter().zip(many.iter()) {
+                let one = f.solve(b);
+                for (m, o) in x.iter().zip(one.iter()) {
+                    assert!((m - o).abs() < 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_csc_stays_on_kernel_and_tracks_new_values() {
+        let a = CscMatrix::from_banded(&tridiagonal(30));
+        let scaled = CscMatrix::from_triplets(
+            30,
+            &a.triplets().map(|(r, c, v)| (r, c, 1.5 * v)).collect::<Vec<_>>(),
+        );
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.2).cos()).collect();
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let mut f = FactoredSolver::factor_csc(&a, backend).unwrap();
+            let kernel = f.backend();
+            f.refactor_csc(&scaled).unwrap();
+            assert_eq!(f.backend(), kernel, "refactor must not change kernel");
+            let warm = f.solve(&b);
+            let fresh = FactoredSolver::factor_csc(&scaled, backend).unwrap().solve(&b);
+            for (w, fr) in warm.iter().zip(fresh.iter()) {
+                assert!((w - fr).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! cache assumes a scenario always produces the same row.
 
 use rlckit_circuit::ladder::{measure_step_delay, LadderSpec};
+use rlckit_circuit::mesh::measure_mesh_delay;
 use rlckit_circuit::tree::measure_tree_delays;
 use rlckit_circuit::SolverBackend;
 use rlckit_core::load::GateRlcLoad;
@@ -18,7 +19,7 @@ use rlckit_coupling::bus::{CoupledBus, UniformBusSpec};
 use rlckit_coupling::crosstalk::crosstalk_metrics;
 use rlckit_coupling::netlist::BusDrive;
 use rlckit_coupling::repeater::evaluate_bus_repeaters;
-use rlckit_interconnect::{DistributedLine, RoutingTree, Technology};
+use rlckit_interconnect::{DistributedLine, MeshGeometry, RoutingTree, Technology};
 use rlckit_reduce::reduce_ladder;
 use rlckit_repeater::comparison;
 use rlckit_repeater::tree::evaluate_tree_repeaters;
@@ -505,6 +506,29 @@ mod tests {
     }
 
     #[test]
+    fn mesh_delay_rows_match_their_columns_and_grow_with_the_grid() {
+        let base = Scenario {
+            technology: TechnologyNode::N180,
+            line_length_mm: 2.0,
+            driver_size: 40.0,
+            mesh_rows: 4,
+            mesh_cols: 4,
+            ..Scenario::default()
+        };
+        let eval = MeshDelayEvaluator;
+        let small = eval.evaluate(&base).unwrap();
+        assert_eq!(small.len(), eval.columns().len());
+        assert!(small[0] > 0.0 && small[1] > 0.0, "delay and rise time positive");
+        assert_eq!(small[3], 18.0, "4×4 grid + pad + source branch");
+        // The grid spans the same line length, so refining it adds unknowns
+        // while the total wire stays in the same ballpark (52 segments of
+        // pitch L/7 vs 24 of pitch L/3).
+        let wide = eval.evaluate(&Scenario { mesh_rows: 4, mesh_cols: 8, ..base }).unwrap();
+        assert_eq!(wide[3], 34.0);
+        assert!((wide[4] / small[4] - 52.0 / 7.0 * 3.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn invalid_scenarios_surface_as_evaluation_errors() {
         let s = Scenario { line_length_mm: -1.0, ..Scenario::default() };
         assert!(matches!(DelayModelEvaluator.evaluate(&s), Err(SweepError::Evaluation { .. })));
@@ -563,6 +587,42 @@ impl Evaluator for TreeDelayEvaluator {
             repeaters.worst_sink_delay_rlc().picoseconds(),
             repeaters.worst_sink_delay_rc().picoseconds(),
             repeaters.rc_design_penalty_percent(),
+        ])
+    }
+}
+
+/// The power/clock-mesh workload (`rlckit-interconnect` → `rlckit-circuit`):
+/// a `mesh_rows × mesh_cols` grid of scenario wire spanning the scenario
+/// line length along its longer side, driven at the near corner by the
+/// size-`h` buffer and measured at the far corner. Grid MNA systems force
+/// genuine fill, so this is the sweep-level face of the sparse kernel's
+/// AMD-plus-refactorization path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeshDelayEvaluator;
+
+impl Evaluator for MeshDelayEvaluator {
+    fn name(&self) -> &'static str {
+        "mesh_delay"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &["far_corner_delay_ps", "rise_time_ps", "overshoot_pct", "unknowns", "total_wire_mm"]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let tech = s.technology.technology();
+        let line = scenario_line(s)?;
+        let span = s.mesh_rows.max(s.mesh_cols).saturating_sub(1).max(1);
+        let pitch = line.with_length(line.length() / span as f64)?;
+        let mesh = MeshGeometry::new(s.mesh_rows, s.mesh_cols, pitch)?;
+        let spec = mesh.to_mesh_spec(tech.buffer_resistance(s.driver_size)?, tech.supply, false)?;
+        let report = measure_mesh_delay(&spec)?;
+        Ok(vec![
+            report.delay_50.picoseconds(),
+            report.rise_time.picoseconds(),
+            report.overshoot_percent,
+            spec.unknown_count() as f64,
+            mesh.total_wire_length().millimeters(),
         ])
     }
 }

@@ -55,8 +55,8 @@ pub use cache::{cache_key, SweepCache};
 pub use error::SweepError;
 pub use eval::{
     BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
-    ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
-    TreeDelayEvaluator,
+    MeshDelayEvaluator, ReducedDelayEvaluator, RepeaterDesignPointEvaluator,
+    RepeaterOptimumEvaluator, TreeDelayEvaluator,
 };
 pub use exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult, SweepRow};
 pub use scenario::{Param, Scenario, TechnologyNode};
@@ -68,8 +68,8 @@ pub mod prelude {
     pub use crate::cache::SweepCache;
     pub use crate::eval::{
         BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
-        ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
-        TreeDelayEvaluator,
+        MeshDelayEvaluator, ReducedDelayEvaluator, RepeaterDesignPointEvaluator,
+        RepeaterOptimumEvaluator, TreeDelayEvaluator,
     };
     pub use crate::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
     pub use crate::scenario::{Param, Scenario, TechnologyNode};

@@ -92,6 +92,11 @@ pub struct Scenario {
     pub tree_levels: usize,
     /// Fan-out at every junction of the symmetric routing tree.
     pub tree_fanout: usize,
+    /// Junction rows of the power/clock mesh used by the mesh evaluators
+    /// (the grid spans the scenario line length along each side).
+    pub mesh_rows: usize,
+    /// Junction columns of the power/clock mesh used by the mesh evaluators.
+    pub mesh_cols: usize,
 }
 
 impl Default for Scenario {
@@ -114,6 +119,8 @@ impl Default for Scenario {
             reduction_order: 8,
             tree_levels: 3,
             tree_fanout: 2,
+            mesh_rows: 8,
+            mesh_cols: 8,
         }
     }
 }
@@ -137,6 +144,8 @@ impl Scenario {
             Param::ReductionOrder(v) => self.reduction_order = v,
             Param::TreeLevels(v) => self.tree_levels = v,
             Param::TreeFanout(v) => self.tree_fanout = v,
+            Param::MeshRows(v) => self.mesh_rows = v,
+            Param::MeshCols(v) => self.mesh_cols = v,
         }
     }
 
@@ -157,6 +166,8 @@ impl Scenario {
         h.write_u64(self.reduction_order as u64);
         h.write_u64(self.tree_levels as u64);
         h.write_u64(self.tree_fanout as u64);
+        h.write_u64(self.mesh_rows as u64);
+        h.write_u64(self.mesh_cols as u64);
     }
 }
 
@@ -193,6 +204,10 @@ pub enum Param {
     TreeLevels(usize),
     /// Fan-out at every junction of the symmetric routing tree.
     TreeFanout(usize),
+    /// Junction rows of the power/clock mesh for the mesh evaluators.
+    MeshRows(usize),
+    /// Junction columns of the power/clock mesh for the mesh evaluators.
+    MeshCols(usize),
 }
 
 impl Param {
@@ -213,7 +228,9 @@ impl Param {
             | Self::LadderSections(v)
             | Self::ReductionOrder(v)
             | Self::TreeLevels(v)
-            | Self::TreeFanout(v) => {
+            | Self::TreeFanout(v)
+            | Self::MeshRows(v)
+            | Self::MeshCols(v) => {
                 format!("{v}")
             }
             Self::Shielded(v) => format!("{v}"),
@@ -296,6 +313,8 @@ mod tests {
             Param::ReductionOrder(6),
             Param::TreeLevels(4),
             Param::TreeFanout(3),
+            Param::MeshRows(12),
+            Param::MeshCols(16),
         ] {
             s.apply(&p);
         }
@@ -314,6 +333,8 @@ mod tests {
         assert_eq!(s.reduction_order, 6);
         assert_eq!(s.tree_levels, 4);
         assert_eq!(s.tree_fanout, 3);
+        assert_eq!(s.mesh_rows, 12);
+        assert_eq!(s.mesh_cols, 16);
     }
 
     #[test]

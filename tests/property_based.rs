@@ -172,6 +172,7 @@ proptest! {
 
 use rlckit::circuit::dc::operating_point_of;
 use rlckit::circuit::ladder::LadderSpec;
+use rlckit::circuit::mesh::MeshSpec;
 use rlckit::circuit::mna::MnaSystem;
 use rlckit::circuit::solve::factor_real;
 use rlckit::circuit::tree::{TreeBranch, TreeSpec};
@@ -281,6 +282,25 @@ proptest! {
     }
 
     #[test]
+    fn three_backends_agree_on_meshes(
+        rows_f in 2.0f64..7.0,
+        cols_f in 2.0f64..7.0,
+        r_seg in 1.0f64..50.0,
+        c_node_ff in 5.0f64..100.0,
+    ) {
+        let spec = MeshSpec::new(
+            rows_f as usize,
+            cols_f as usize,
+            Resistance::from_ohms(r_seg),
+            Capacitance::from_femtofarads(c_node_ff),
+            Resistance::from_ohms(75.0),
+        );
+        let net = spec.build().expect("mesh builds");
+        let mna = MnaSystem::build(&net.circuit).expect("mesh assembles");
+        assert_backends_agree(&mna, "mesh");
+    }
+
+    #[test]
     fn singular_rejection_parity_across_backends(segments_f in 2.0f64..12.0) {
         let segments = segments_f as usize;
         // 0·G + 0·C is exactly singular; every backend must report it as a
@@ -303,5 +323,212 @@ proptest! {
                 "{backend:?} must reject the zero matrix"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-kernel scaling invariants: the value-only refactorisation must be
+// numerically indistinguishable from a fresh pivoting factorisation across
+// the workload families (ladders, trees, meshes), blocked multi-RHS solves
+// must match one-at-a-time solves, and the AMD ordering must stay a valid
+// permutation with fill competitive with classical minimum degree.
+// ---------------------------------------------------------------------------
+
+use rlckit::numeric::sparse::{
+    approximate_minimum_degree, minimum_degree, SparseLuFactor, SparseSymbolic,
+};
+
+/// The three workload families the refactor path must cover.
+fn family_mna(family: usize, size: usize) -> MnaSystem {
+    let circuit = match family % 3 {
+        0 => {
+            let spec = LadderSpec::new(
+                Resistance::from_ohms(400.0),
+                Inductance::from_nanohenries(8.0),
+                Capacitance::from_picofarads(0.8),
+                Resistance::from_ohms(120.0),
+                Capacitance::from_femtofarads(25.0),
+            );
+            LadderSpec { segments: size.max(2), ..spec }.build().expect("ladder builds").circuit
+        }
+        1 => {
+            let mut spec = TreeSpec::new(Resistance::from_ohms(150.0));
+            for i in 0..size.max(2) {
+                spec.branches.push(TreeBranch {
+                    parent: if i == 0 { None } else { Some((i - 1) / 2) },
+                    total_resistance: Resistance::from_ohms(90.0),
+                    total_inductance: Inductance::from_nanohenries(1.5),
+                    total_capacitance: Capacitance::from_picofarads(0.15),
+                    segments: 3,
+                    sink_capacitance: Capacitance::from_femtofarads(12.0),
+                });
+            }
+            spec.build().expect("tree builds").circuit
+        }
+        _ => {
+            let side = (size.max(4) as f64).sqrt().ceil() as usize;
+            MeshSpec::new(
+                side,
+                side,
+                Resistance::from_ohms(4.0),
+                Capacitance::from_femtofarads(15.0),
+                Resistance::from_ohms(60.0),
+            )
+            .build()
+            .expect("mesh builds")
+            .circuit
+        }
+    };
+    MnaSystem::build(&circuit).expect("family circuit assembles")
+}
+
+/// Builds the adjacency lists of a random grid-graph pattern with a few
+/// extra chords, the shape AMD has to be competitive on.
+fn grid_adjacency(rows: usize, cols: usize, chords: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let n = rows * cols;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut connect = |a: usize, b: usize| {
+        if a != b {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = r * cols + c;
+            if c + 1 < cols {
+                connect(here, here + 1);
+            }
+            if r + 1 < rows {
+                connect(here, here + cols);
+            }
+        }
+    }
+    for &(a, b) in chords {
+        connect(a % n, b % n);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+/// Diagonally dominant matrix over an adjacency structure, so every
+/// elimination order factors without pivoting surprises.
+fn matrix_from_adjacency(adj: &[Vec<usize>]) -> rlckit::numeric::sparse::CscMatrix<f64> {
+    let n = adj.len();
+    let mut triplets = Vec::new();
+    for (i, neighbours) in adj.iter().enumerate() {
+        triplets.push((i, i, 4.0 + neighbours.len() as f64));
+        for &j in neighbours {
+            triplets.push((i, j, -1.0));
+        }
+    }
+    rlckit::numeric::sparse::CscMatrix::from_triplets(n, &triplets)
+}
+
+/// `nnz(L) + nnz(U)` of a factorisation under the given ordering.
+fn fill_under(a: &rlckit::numeric::sparse::CscMatrix<f64>, perm: Vec<usize>) -> usize {
+    let symbolic = SparseSymbolic::from_permutation(a.dim(), perm);
+    let f = SparseLuFactor::factor(a, &symbolic).expect("diagonally dominant system factors");
+    f.l_nnz() + f.u_nnz()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn refactorisation_matches_a_fresh_factorisation(
+        family in 0.0f64..3.0,
+        size_f in 6.0f64..30.0,
+        scalars in proptest::collection::vec(0.2f64..5.0, 3),
+    ) {
+        // Factor `G + cs·C` once, then walk through new `cs` scalars (the
+        // per-timestep/per-frequency value perturbation: the pattern is
+        // frozen, every stored value changes). The warm refactorisation must
+        // agree with a cold pivoting factorisation of the same matrix to
+        // 1e-12 on the solution of a common right-hand side.
+        let mna = family_mna(family as usize, size_f as usize);
+        let n = mna.dim();
+        let a0 = mna.assemble_csc_real(1.0, 1e10);
+        let mut warm = SparseLuFactor::factor(&a0, mna.sparse_symbolic()).expect("factors");
+        let rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        for cs in &scalars {
+            let a = mna.assemble_csc_real(1.0, cs * 1e10);
+            warm.refactor(&a).expect("same pattern refactors");
+            let cold = SparseLuFactor::factor(&a, mna.sparse_symbolic()).expect("factors");
+            let xw = warm.solve(&rhs);
+            let xc = cold.solve(&rhs);
+            let scale = xc.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (i, (w, c)) in xw.iter().zip(xc.iter()).enumerate() {
+                prop_assert!(
+                    (w - c).abs() <= 1e-12 * scale,
+                    "family {family}, cs {cs}: warm vs cold differ at {i}: {w} vs {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_multi_rhs_solves_match_one_at_a_time(
+        family in 0.0f64..3.0,
+        size_f in 6.0f64..30.0,
+        seeds in proptest::collection::vec(0.1f64..10.0, 4),
+    ) {
+        let mna = family_mna(family as usize, size_f as usize);
+        let n = mna.dim();
+        for backend in BACKENDS {
+            let factor = factor_real(&mna, 1.0, 1e10, backend, "multi-rhs test")
+                .expect("family system factors");
+            let block: Vec<Vec<f64>> = seeds
+                .iter()
+                .map(|s| (0..n).map(|i| s * (1.0 + (i % 5) as f64)).collect())
+                .collect();
+            let many = factor.solve_many(&block);
+            for (b, x) in block.iter().zip(many.iter()) {
+                let one = factor.solve(b);
+                for (i, (m, o)) in x.iter().zip(one.iter()).enumerate() {
+                    prop_assert!(
+                        (m - o).abs() <= 1e-12 * o.abs().max(1.0),
+                        "{backend:?}: blocked vs single solve differ at {i}: {m} vs {o}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amd_is_valid_and_fill_competitive_on_random_meshes(
+        rows_f in 3.0f64..12.0,
+        cols_f in 3.0f64..12.0,
+        chord_seeds in proptest::collection::vec(0.0f64..1.0, 4),
+    ) {
+        let (rows, cols) = (rows_f as usize, cols_f as usize);
+        let n = rows * cols;
+        let chords: Vec<(usize, usize)> = chord_seeds
+            .chunks(2)
+            .map(|pair| {
+                let a = (pair[0] * n as f64) as usize % n;
+                let b = (pair.get(1).copied().unwrap_or(0.5) * n as f64) as usize % n;
+                (a, b)
+            })
+            .collect();
+        let adj = grid_adjacency(rows, cols, &chords);
+        let amd = approximate_minimum_degree(n, &adj);
+        // A valid permutation: every position hit exactly once.
+        let mut seen = vec![false; n];
+        for &p in &amd {
+            prop_assert!(p < n && !seen[p], "AMD emitted position {p} twice or out of range");
+            seen[p] = true;
+        }
+        // Fill within 2x of the classical (exact-degree) orderings' fill.
+        let a = matrix_from_adjacency(&adj);
+        let amd_fill = fill_under(&a, amd);
+        let md_fill = fill_under(&a, minimum_degree(n, &adj));
+        prop_assert!(
+            amd_fill <= 2 * md_fill,
+            "{rows}x{cols} grid: AMD fill {amd_fill} vs classical MD fill {md_fill}"
+        );
     }
 }
