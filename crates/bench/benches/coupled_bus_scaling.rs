@@ -20,7 +20,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::{smoke_or, PerfReport};
+use rlckit_bench::report::{smoke_or, write_trajectory_or_exit, PerfReport};
 use rlckit_circuit::transient::{run_transient, TransientOptions};
 use rlckit_circuit::SolverBackend;
 use rlckit_coupling::bus::UniformBusSpec;
@@ -128,13 +128,7 @@ fn write_perf_trajectory() {
             );
         }
     }
-    // The bench process runs with the package directory as CWD; anchor the
-    // trajectory file at the workspace root where the other BENCH_*.json live.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    match report.write(&root) {
-        Ok(path) => println!("perf trajectory written to {}", path.display()),
-        Err(e) => eprintln!("could not write perf trajectory: {e}"),
-    }
+    write_trajectory_or_exit(&report);
 }
 
 fn bench_with_trajectory(c: &mut Criterion) {

@@ -16,7 +16,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::{smoke_or, PerfReport};
+use rlckit_bench::report::{smoke_or, write_trajectory_or_exit, PerfReport};
 use rlckit_circuit::ladder::{measure_step_delay, LadderSpec, SegmentStyle};
 use rlckit_circuit::SolverBackend;
 use rlckit_reduce::reduce_ladder;
@@ -99,11 +99,7 @@ fn write_perf_trajectory() {
         );
         assert!(err < 1.0, "reduced delay drifted {err}% from the transient at {sections}");
     }
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    match report.write(&root) {
-        Ok(path) => println!("perf trajectory written to {}", path.display()),
-        Err(e) => eprintln!("could not write perf trajectory: {e}"),
-    }
+    write_trajectory_or_exit(&report);
     if let Some(s) = speedup_at_1000 {
         println!("reduced vs transient speedup at 1000 sections: {s:.0}x");
         assert!(s >= 10.0, "speedup target at 1000 sections not met: {s:.1}x");

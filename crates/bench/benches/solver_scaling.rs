@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::{smoke_or, PerfReport};
+use rlckit_bench::report::{smoke_or, write_trajectory_or_exit, PerfReport};
 use rlckit_circuit::ladder::{LadderSpec, SegmentStyle};
 use rlckit_circuit::transient::{run_transient, TransientOptions};
 use rlckit_circuit::SolverBackend;
@@ -109,13 +109,7 @@ fn write_perf_trajectory() {
             println!("{sections:>5} sections: banded {banded:.4} s (dense skipped)");
         }
     }
-    // The bench process runs with the package directory as CWD; anchor the
-    // trajectory file at the workspace root where the other BENCH_*.json live.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    match report.write(&root) {
-        Ok(path) => println!("perf trajectory written to {}", path.display()),
-        Err(e) => eprintln!("could not write perf trajectory: {e}"),
-    }
+    write_trajectory_or_exit(&report);
     if let Some(s) = speedup_at_500 {
         println!("dense/banded speedup at 500 sections: {s:.1}x");
     }

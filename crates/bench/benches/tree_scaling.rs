@@ -30,7 +30,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::{smoke_or, PerfReport};
+use rlckit_bench::report::{
+    smoke_or, write_profile_if_enabled, write_trajectory_or_exit, PerfReport,
+};
 use rlckit_circuit::mesh::MeshSpec;
 use rlckit_circuit::mna::MnaSystem;
 use rlckit_circuit::netlist::Circuit;
@@ -253,18 +255,40 @@ fn write_perf_trajectory() {
         "value-only refactorisation must be at least 2x faster than a cold \
          factorisation at the largest mesh (got {speedup:.2}x)"
     );
-    // The bench process runs with the package directory as CWD; anchor the
-    // trajectory file at the workspace root where the other BENCH_*.json live.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    match report.write(&root) {
-        Ok(path) => println!("perf trajectory written to {}", path.display()),
-        Err(e) => eprintln!("could not write perf trajectory: {e}"),
+    write_trajectory_or_exit(&report);
+}
+
+/// Under `RLCKIT_PROFILE=1` only: exercise the sweep executor's cache twice
+/// (one cold pass, one fully warm replay) so the emitted `PROFILE_tree.json`
+/// also carries the `sweep.cache_hits` / `sweep.cache_misses` counters next
+/// to the solver and transient spans this bench produces anyway.
+fn profile_sweep_cache() {
+    if !rlckit_telemetry::enabled() {
+        return;
     }
+    use rlckit_sweep::{
+        eval::DelayModelEvaluator,
+        exec::{run_sweep_cached, SweepOptions},
+        scenario::{Param, Scenario},
+        spec::{Axis, SweepSpec},
+    };
+    let spec = SweepSpec::new(Scenario::default())
+        .axis(Axis::new("length_mm", [5.0, 10.0].map(Param::LineLengthMm)));
+    let mut cache = rlckit_sweep::cache::SweepCache::in_memory();
+    let opts = SweepOptions::with_threads(2);
+    let cold = run_sweep_cached(&spec, &DelayModelEvaluator, &opts, &mut cache)
+        .expect("profile sweep runs");
+    let warm = run_sweep_cached(&spec, &DelayModelEvaluator, &opts, &mut cache)
+        .expect("profile sweep replays");
+    assert_eq!(cold.computed, spec.len());
+    assert_eq!(warm.cache_hits, spec.len());
 }
 
 fn bench_with_trajectory(c: &mut Criterion) {
     bench_tree_scaling(c);
     write_perf_trajectory();
+    profile_sweep_cache();
+    write_profile_if_enabled("tree");
 }
 
 criterion_group!(benches, bench_with_trajectory);

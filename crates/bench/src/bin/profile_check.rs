@@ -1,0 +1,89 @@
+//! The profile gate binary: structurally validate a `PROFILE_*.json`
+//! document emitted by a profiled run.
+//!
+//! ```text
+//! profile-check <file> [--require-span <leaf>]... [--require-counter <name>]...
+//! ```
+//!
+//! Exits non-zero when the file does not parse as the telemetry profile
+//! schema, when any span carries broken accounting (zero count, negative or
+//! null timings, self time exceeding total), or when a required span leaf /
+//! counter is absent (see `rlckit_bench::check::audit_profile` for the
+//! contract). CI runs a smoke bench under `RLCKIT_PROFILE=1` and points this
+//! binary at the emitted profile with the instrumentation sites the run must
+//! have exercised.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rlckit_bench::check::{audit_profile, parse_profile, render_violations};
+
+fn main() -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut require_spans: Vec<String> = Vec::new();
+    let mut require_counters: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--require-span" => require_spans.push(value("--require-span")),
+            "--require-counter" => require_counters.push(value("--require-counter")),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: profile-check <file> [--require-span <leaf>]... \
+                     [--require-counter <name>]..."
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!(
+            "usage: profile-check <file> [--require-span <leaf>]... [--require-counter <name>]..."
+        );
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("profile gate: cannot read {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match parse_profile(&text) {
+        Ok(profile) => profile,
+        Err(e) => {
+            eprintln!("profile gate: {} does not parse: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let spans: Vec<&str> = require_spans.iter().map(String::as_str).collect();
+    let counters: Vec<&str> = require_counters.iter().map(String::as_str).collect();
+    let violations = audit_profile(&profile, &spans, &counters);
+    if violations.is_empty() {
+        println!(
+            "profile gate: OK ({}: {} span(s), {} counter(s), {} gauge(s), {} histogram(s))",
+            file.display(),
+            profile.spans.len(),
+            profile.counters.len(),
+            profile.gauges.len(),
+            profile.histograms.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprint!("{}", render_violations(&violations));
+        ExitCode::FAILURE
+    }
+}

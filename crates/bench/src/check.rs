@@ -255,6 +255,211 @@ pub fn check_directories(
     Ok(violations)
 }
 
+/// One span entry of a parsed `PROFILE_*.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSpan {
+    /// Full slash-joined span path.
+    pub name: String,
+    /// Occurrence count.
+    pub count: f64,
+    /// Total wall seconds; `None` for JSON `null`.
+    pub total_s: Option<f64>,
+    /// Self (total minus children) wall seconds; `None` for JSON `null`.
+    pub self_s: Option<f64>,
+}
+
+/// A parsed `PROFILE_*.json` document (spans plus the name sets of the
+/// counter/gauge/histogram sections — the audit only needs names and span
+/// timings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedProfile {
+    /// The profile name from the `"profile"` field.
+    pub profile: String,
+    /// The span entries, in file order.
+    pub spans: Vec<ParsedSpan>,
+    /// Counter `(name, value)` pairs, in file order.
+    pub counters: Vec<(String, f64)>,
+    /// Gauge names, in file order.
+    pub gauges: Vec<String>,
+    /// Histogram names, in file order.
+    pub histograms: Vec<String>,
+}
+
+impl ParsedProfile {
+    /// Returns `true` if some span path contains the leaf `name` — as the
+    /// whole path, a nested tail (`…/name`), or an interior segment.
+    pub fn has_span_leaf(&self, name: &str) -> bool {
+        self.spans.iter().any(|s| s.name.split('/').any(|segment| segment == name))
+    }
+
+    /// Value of the counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Parses the flat profile format emitted by `rlckit-telemetry`, rejecting
+/// any structural deviation — the `PROFILE_*.json` counterpart of
+/// [`parse_report`].
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural problem.
+pub fn parse_profile(text: &str) -> Result<ParsedProfile, String> {
+    let json = parse_json(text)?;
+    let Json::Object(fields) = &json else {
+        return Err("top level must be a JSON object".to_owned());
+    };
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    if keys != ["profile", "spans", "counters", "gauges", "histograms"] {
+        return Err(format!(
+            "top-level keys must be [profile, spans, counters, gauges, histograms], got {keys:?}"
+        ));
+    }
+    let Json::String(profile) = &fields[0].1 else {
+        return Err("\"profile\" must be a string".to_owned());
+    };
+
+    // Pulls (name, value-of-key) out of an array of flat objects whose key
+    // list must match exactly.
+    let named_items = |section: &Json,
+                       section_name: &str,
+                       expected: &[&str]|
+     -> Result<Vec<Vec<(String, Json)>>, String> {
+        let Json::Array(items) = section else {
+            return Err(format!("\"{section_name}\" must be an array"));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let Json::Object(fields) = item else {
+                return Err(format!("{section_name} entry {i} must be an object"));
+            };
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            if keys != expected {
+                return Err(format!(
+                    "{section_name} entry {i} keys must be {expected:?}, got {keys:?}"
+                ));
+            }
+            out.push(fields.clone());
+        }
+        Ok(out)
+    };
+    let string_of = |v: &Json, what: &str| -> Result<String, String> {
+        match v {
+            Json::String(s) => Ok(s.clone()),
+            other => Err(format!("{what} must be a string, got {other:?}")),
+        }
+    };
+    let number_of = |v: &Json, what: &str| -> Result<f64, String> {
+        match v {
+            Json::Number(n) => Ok(*n),
+            other => Err(format!("{what} must be a number, got {other:?}")),
+        }
+    };
+    let nullable_of = |v: &Json, what: &str| -> Result<Option<f64>, String> {
+        match v {
+            Json::Number(n) => Ok(Some(*n)),
+            Json::Null => Ok(None),
+            other => Err(format!("{what} must be a number or null, got {other:?}")),
+        }
+    };
+
+    let mut spans = Vec::new();
+    for entry in named_items(
+        &fields[1].1,
+        "spans",
+        &["name", "count", "total_s", "self_s", "min_s", "max_s"],
+    )? {
+        let name = string_of(&entry[0].1, "span name")?;
+        spans.push(ParsedSpan {
+            count: number_of(&entry[1].1, &format!("span {name:?} count"))?,
+            total_s: nullable_of(&entry[2].1, &format!("span {name:?} total_s"))?,
+            self_s: nullable_of(&entry[3].1, &format!("span {name:?} self_s"))?,
+            name,
+        });
+    }
+    let mut counters = Vec::new();
+    for entry in named_items(&fields[2].1, "counters", &["name", "value"])? {
+        let name = string_of(&entry[0].1, "counter name")?;
+        let value = number_of(&entry[1].1, &format!("counter {name:?} value"))?;
+        counters.push((name, value));
+    }
+    let mut gauges = Vec::new();
+    for entry in named_items(&fields[3].1, "gauges", &["name", "value"])? {
+        gauges.push(string_of(&entry[0].1, "gauge name")?);
+        nullable_of(&entry[1].1, "gauge value")?;
+    }
+    let mut histograms = Vec::new();
+    for entry in named_items(&fields[4].1, "histograms", &["name", "count", "sum_s", "buckets"])? {
+        let name = string_of(&entry[0].1, "histogram name")?;
+        number_of(&entry[1].1, &format!("histogram {name:?} count"))?;
+        for bucket in named_items(&entry[3].1, "buckets", &["le_s", "count"])? {
+            number_of(&bucket[0].1, "bucket le_s")?;
+            number_of(&bucket[1].1, "bucket count")?;
+        }
+        histograms.push(name);
+    }
+    Ok(ParsedProfile { profile: profile.clone(), spans, counters, gauges, histograms })
+}
+
+/// Audits a parsed profile: structural sanity of every span (a positive
+/// count, finite non-negative timings, self ≤ total) plus presence of the
+/// required span leaves and counters.
+///
+/// Returns one message per violation; an empty vector means the audit
+/// passes.
+pub fn audit_profile(
+    profile: &ParsedProfile,
+    required_spans: &[&str],
+    required_counters: &[&str],
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if profile.spans.is_empty() {
+        violations.push(
+            "profile has no spans at all (was the run actually profiled with \
+             RLCKIT_PROFILE=1?)"
+                .to_owned(),
+        );
+    }
+    for span in &profile.spans {
+        let name = &span.name;
+        if !(span.count >= 1.0) {
+            violations.push(format!("span {name:?} has a non-positive count {}", span.count));
+        }
+        match (span.total_s, span.self_s) {
+            (Some(total), Some(self_s)) => {
+                if !total.is_finite() || total < 0.0 || !self_s.is_finite() || self_s < 0.0 {
+                    violations.push(format!(
+                        "span {name:?} has a negative or non-finite timing: total {total}, \
+                         self {self_s}"
+                    ));
+                } else if self_s > total * (1.0 + 1e-9) + 1e-12 {
+                    violations.push(format!(
+                        "span {name:?} reports more self time ({self_s}) than total ({total})"
+                    ));
+                }
+            }
+            _ => violations.push(format!("span {name:?} has a null timing")),
+        }
+    }
+    for &required in required_spans {
+        if !profile.has_span_leaf(required) {
+            violations.push(format!("required span {required:?} is missing from the profile"));
+        }
+    }
+    for &required in required_counters {
+        match profile.counter(required) {
+            None => violations
+                .push(format!("required counter {required:?} is missing from the profile")),
+            Some(v) if !v.is_finite() || v < 0.0 => {
+                violations.push(format!("required counter {required:?} has a bad value {v}"));
+            }
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
 /// Renders a violation list as a readable multi-line report.
 pub fn render_violations(violations: &[String]) -> String {
     let mut out = String::new();
@@ -596,5 +801,100 @@ mod tests {
         assert!(violations.iter().any(|v| v.contains("BENCH_shared.json") && v.contains("moved")));
 
         std::fs::remove_dir_all(&base).unwrap();
+    }
+
+    /// Builds a real profile snapshot through the telemetry crate so the
+    /// writer and this parser are exercised as a pair.
+    fn telemetry_profile() -> ParsedProfile {
+        let _collector = rlckit_telemetry::Collector::enable();
+        rlckit_telemetry::Collector::reset();
+        {
+            let _outer = rlckit_telemetry::span("check.outer");
+            let _inner = rlckit_telemetry::span("check.inner");
+            rlckit_telemetry::counter_add("check.counter", 2);
+            rlckit_telemetry::gauge_set("check.gauge", 0.5);
+            rlckit_telemetry::observe_seconds("check.hist", 1e-3);
+        }
+        let snapshot = rlckit_telemetry::Collector::snapshot();
+        parse_profile(&snapshot.to_json("unit")).expect("writer output parses")
+    }
+
+    #[test]
+    fn profile_writer_output_round_trips_through_the_parser() {
+        let parsed = telemetry_profile();
+        assert_eq!(parsed.profile, "unit");
+        assert!(parsed.has_span_leaf("check.outer"));
+        assert!(parsed.has_span_leaf("check.inner"), "nested leaf must be found inside its path");
+        assert!(!parsed.has_span_leaf("check.absent"));
+        assert_eq!(parsed.counter("check.counter"), Some(2.0));
+        assert_eq!(parsed.gauges, ["check.gauge"]);
+        assert_eq!(parsed.histograms, ["check.hist"]);
+    }
+
+    #[test]
+    fn profile_structural_deviations_are_parse_errors() {
+        assert!(parse_profile("[1]").is_err());
+        assert!(parse_profile("{\"profile\": \"x\"}").is_err());
+        // Wrong span keys.
+        assert!(parse_profile(
+            "{\"profile\": \"x\", \"spans\": [{\"name\": \"a\", \"count\": 1}], \
+             \"counters\": [], \"gauges\": [], \"histograms\": []}"
+        )
+        .is_err());
+        // Sections out of order.
+        assert!(parse_profile(
+            "{\"profile\": \"x\", \"counters\": [], \"spans\": [], \
+             \"gauges\": [], \"histograms\": []}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn profile_audit_passes_a_healthy_profile_and_flags_gaps() {
+        let parsed = telemetry_profile();
+        let clean = audit_profile(&parsed, &["check.outer", "check.inner"], &["check.counter"]);
+        assert!(clean.is_empty(), "{clean:?}");
+
+        let violations =
+            audit_profile(&parsed, &["sparse.factor"], &["sweep.cache_hits", "check.counter"]);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("sparse.factor")));
+        assert!(violations.iter().any(|v| v.contains("sweep.cache_hits")));
+    }
+
+    #[test]
+    fn profile_audit_flags_broken_span_accounting() {
+        let empty = ParsedProfile {
+            profile: "x".to_owned(),
+            spans: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        assert!(audit_profile(&empty, &[], &[]).iter().any(|v| v.contains("no spans")));
+
+        let broken = ParsedProfile {
+            spans: vec![
+                ParsedSpan {
+                    name: "zero".to_owned(),
+                    count: 0.0,
+                    total_s: Some(1.0),
+                    self_s: Some(0.5),
+                },
+                ParsedSpan {
+                    name: "inverted".to_owned(),
+                    count: 1.0,
+                    total_s: Some(0.5),
+                    self_s: Some(1.0),
+                },
+                ParsedSpan { name: "null".to_owned(), count: 1.0, total_s: None, self_s: None },
+            ],
+            ..empty
+        };
+        let violations = audit_profile(&broken, &[], &[]);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("non-positive count")));
+        assert!(violations.iter().any(|v| v.contains("more self time")));
+        assert!(violations.iter().any(|v| v.contains("null timing")));
     }
 }

@@ -197,6 +197,48 @@ impl PerfReport {
     }
 }
 
+/// The workspace root (two levels above this crate's manifest), where the
+/// committed `BENCH_*.json` trajectories and the `PROFILE_*.json` profiles
+/// live.
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Writes a perf trajectory to the workspace root, printing the path on
+/// success and **exiting the process nonzero** on failure.
+///
+/// Every perf-tracking bench used to hand-roll this epilogue with an
+/// `eprintln!` that swallowed the error; a bench whose trajectory silently
+/// failed to land would let the CI regression gate compare against a stale
+/// file. Failing loudly keeps the gate honest.
+pub fn write_trajectory_or_exit(report: &PerfReport) {
+    match report.write(&workspace_root()) {
+        Ok(path) => println!("perf trajectory written to {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write perf trajectory {}: {e}", report.file_name());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// If profiling is active, snapshots the telemetry registry and writes it to
+/// `PROFILE_<profile>.json` at the workspace root (exiting nonzero on an I/O
+/// failure, like [`write_trajectory_or_exit`]). A no-op when profiling is
+/// off, so every bench can call it unconditionally.
+pub fn write_profile_if_enabled(profile: &str) {
+    if !rlckit_telemetry::enabled() {
+        return;
+    }
+    let snapshot = rlckit_telemetry::Collector::snapshot();
+    match snapshot.write(profile, &workspace_root()) {
+        Ok(path) => println!("profile written to {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write profile PROFILE_{profile}.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Escapes backslash, quote and control characters so the emitted string
 /// literal is always valid JSON.
 fn escape_json(s: &str) -> String {

@@ -100,6 +100,7 @@ impl MnaSystem {
     ///
     /// Returns [`CircuitError::EmptyCircuit`] if the circuit has no elements.
     pub fn build(circuit: &Circuit) -> Result<Self, CircuitError> {
+        let _span = rlckit_telemetry::span("mna.build");
         if circuit.is_empty() {
             return Err(CircuitError::EmptyCircuit);
         }
@@ -201,6 +202,7 @@ impl MnaSystem {
             g_stamps.iter().chain(c_stamps.iter()).map(|&(r, c, _)| (r, c)),
             &perm,
         );
+        rlckit_telemetry::gauge_set("mna.dim", dim as f64);
         Ok(Self {
             node_unknowns,
             dim,
@@ -274,6 +276,7 @@ impl MnaSystem {
     /// stability [`rlckit_numeric::sparse::SparseLuFactor::refactor`] needs
     /// to reuse a factorisation across `(gs, cs)` pairs.
     pub fn assemble_csc_real(&self, gs: f64, cs: f64) -> CscMatrix<f64> {
+        let _span = rlckit_telemetry::span("mna.assemble");
         let map = self.csc_assembly();
         let mut values = vec![0.0; map.row_idx.len()];
         if gs != 0.0 {
@@ -293,6 +296,7 @@ impl MnaSystem {
     /// form, in logical order, on the same shared union pattern as
     /// [`MnaSystem::assemble_csc_real`].
     pub fn assemble_csc_complex(&self, s: Complex) -> CscMatrix<Complex> {
+        let _span = rlckit_telemetry::span("mna.assemble");
         let map = self.csc_assembly();
         let mut values = vec![Complex::ZERO; map.row_idx.len()];
         for (&(_, _, v), &p) in self.g_stamps.iter().zip(&map.g_pos) {

@@ -169,6 +169,7 @@ pub fn run_transient(
     options: &TransientOptions,
 ) -> Result<TransientResult, CircuitError> {
     options.validate()?;
+    let _span = rlckit_telemetry::span("transient.run");
     let mna = MnaSystem::build(circuit)?;
     let dim = mna.dim();
     let dt = options.step.seconds();
@@ -207,7 +208,11 @@ pub fn run_transient(
     mna.rhs_at(Time::ZERO, &mut b_prev);
     let mut b_next = vec![0.0; dim];
 
+    // Hoisted so the loop body pays one branch, not an atomic load per step.
+    let profiling = rlckit_telemetry::enabled();
+    let _stepping = rlckit_telemetry::span("transient.stepping");
     for n in 1..=num_steps {
+        let step_start = profiling.then(std::time::Instant::now);
         let t = n as f64 * dt;
         mna.rhs_at(Time::from_seconds(t), &mut b_next);
 
@@ -231,7 +236,15 @@ pub fn run_transient(
             series.push(state[k]);
         }
         std::mem::swap(&mut b_prev, &mut b_next);
+        if let Some(start) = step_start {
+            rlckit_telemetry::observe_seconds(
+                "transient.step_seconds",
+                start.elapsed().as_secs_f64(),
+            );
+        }
     }
+    drop(_stepping);
+    rlckit_telemetry::counter_add("transient.steps", num_steps as u64);
 
     Ok(TransientResult {
         times,

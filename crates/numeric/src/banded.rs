@@ -202,6 +202,7 @@ impl<T: Scalar> BandedLuFactor<T> {
     /// Returns [`FactorizeError::Singular`] if elimination encounters a pivot
     /// that is numerically zero.
     pub fn new(a: &BandedMatrix<T>) -> Result<Self, FactorizeError> {
+        let _span = rlckit_telemetry::span("banded.factor");
         let n = a.dim();
         let kl = a.lower_bandwidth();
         let ku = a.upper_bandwidth();
@@ -280,6 +281,7 @@ impl<T: Scalar> BandedLuFactor<T> {
     ///
     /// Panics if `b.len()` does not equal the matrix dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let _span = rlckit_telemetry::span("banded.solve");
         assert_eq!(b.len(), self.n, "right-hand side length must equal matrix dimension");
         let width = self.kl + self.kuf + 1;
         let at = |i: usize, j: usize| -> T { self.data[i * width + (j + self.kl - i)] };

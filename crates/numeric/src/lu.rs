@@ -64,6 +64,7 @@ impl<T: Scalar> LuFactor<T> {
     /// [`FactorizeError::Singular`] if elimination encounters a pivot that is
     /// numerically zero.
     pub fn new(a: &Matrix<T>) -> Result<Self, FactorizeError> {
+        let _span = rlckit_telemetry::span("dense.factor");
         if !a.is_square() {
             return Err(FactorizeError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
@@ -121,6 +122,7 @@ impl<T: Scalar> LuFactor<T> {
     ///
     /// Panics if `b.len()` does not equal the matrix dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let _span = rlckit_telemetry::span("dense.solve");
         let n = self.dim();
         assert_eq!(b.len(), n, "right-hand side length must equal matrix dimension");
 

@@ -442,6 +442,7 @@ impl SparseSymbolic {
     ///
     /// Panics if `n` is zero or any index is out of range.
     pub fn analyze(n: usize, pattern: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let _span = rlckit_telemetry::span("sparse.symbolic");
         assert!(n > 0, "symbolic dimension must be non-zero");
         let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (r, c) in pattern {
@@ -541,6 +542,7 @@ impl<T: Scalar> SparseLuFactor<T> {
     ///
     /// Panics if `symbolic.dim() != a.dim()`.
     pub fn factor(a: &CscMatrix<T>, symbolic: &SparseSymbolic) -> Result<Self, FactorizeError> {
+        let _span = rlckit_telemetry::span("sparse.factor");
         let n = a.dim();
         assert_eq!(symbolic.dim(), n, "symbolic and matrix dimensions must agree");
 
@@ -700,6 +702,24 @@ impl<T: Scalar> SparseLuFactor<T> {
             }
         }
 
+        // Factor-quality gauges, computed only under an active profiler: the
+        // max-ratio scan over U and A is O(nnz) work the cold path skips.
+        if rlckit_telemetry::enabled() {
+            let nnz = a.nnz() as f64;
+            rlckit_telemetry::gauge_set("sparse.l_nnz", l_rows.len() as f64);
+            rlckit_telemetry::gauge_set("sparse.u_nnz", u_rows.len() as f64);
+            rlckit_telemetry::gauge_set(
+                "sparse.fill_ratio",
+                (l_rows.len() + u_rows.len()) as f64 / nnz.max(1.0),
+            );
+            let max_u = u_vals.iter().map(|v| v.modulus()).fold(0.0, f64::max);
+            let max_a =
+                (0..n).flat_map(|j| a.col_values(j)).map(|v| v.modulus()).fold(0.0, f64::max);
+            if max_a > 0.0 {
+                rlckit_telemetry::gauge_set("sparse.pivot_growth", max_u / max_a);
+            }
+        }
+
         Ok(Self {
             n,
             l_colptr,
@@ -769,6 +789,7 @@ impl<T: Scalar> SparseLuFactor<T> {
     /// has an entry outside the factored fill pattern (refactor a changed
     /// pattern with a fresh [`SparseLuFactor::factor`] instead).
     pub fn refactor(&mut self, a: &CscMatrix<T>) -> Result<(), FactorizeError> {
+        let _span = rlckit_telemetry::span("sparse.refactor");
         assert_eq!(a.dim(), self.n, "refactor dimension must match the factored matrix");
         let n = self.n;
         let mut x = vec![T::zero(); n];
@@ -830,6 +851,7 @@ impl<T: Scalar> SparseLuFactor<T> {
     ///
     /// Panics if `b.len()` does not equal the matrix dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let _span = rlckit_telemetry::span("sparse.solve");
         assert_eq!(b.len(), self.n, "right-hand side length must equal matrix dimension");
         // Row permutation: position k of the permuted system holds b[i] for
         // the row i pivotal at step k.
@@ -879,6 +901,7 @@ impl<T: Scalar> SparseLuFactor<T> {
     ///
     /// Panics if any right-hand side's length differs from the dimension.
     pub fn solve_many(&self, rhs: &[Vec<T>]) -> Vec<Vec<T>> {
+        let _span = rlckit_telemetry::span("sparse.solve_many");
         let n = self.n;
         let mut work: Vec<Vec<T>> = rhs
             .iter()

@@ -104,8 +104,11 @@ pub fn prima(
                      (every B column needs Krylov content)",
         });
     }
+    let _span = rlckit_telemetry::span("mor.prima");
     let factor = ss.factor_g(options.backend)?;
     let mut builder = OrthoBuilder::new(ss.dim(), options.deflation_tol);
+    let mut iterations = 0u64;
+    let mut deflations = 0u64;
 
     // Starting block: R = G⁻¹B, one candidate per input.
     let mut block: Vec<Vec<f64>> = Vec::new();
@@ -114,8 +117,11 @@ pub fn prima(
             break;
         }
         let r = finite_solve(&factor, ss.input_column(j))?;
+        iterations += 1;
         if builder.push(&r) {
             block.push(builder.columns().last().expect("vector just accepted").clone());
+        } else {
+            deflations += 1;
         }
     }
     if builder.is_empty() {
@@ -130,12 +136,17 @@ pub fn prima(
                 break;
             }
             let w = finite_solve(&factor, &ss.apply_c(v))?;
+            iterations += 1;
             if builder.push(&w) {
                 next.push(builder.columns().last().expect("vector just accepted").clone());
+            } else {
+                deflations += 1;
             }
         }
         block = next;
     }
+    rlckit_telemetry::counter_add("mor.arnoldi_iterations", iterations);
+    rlckit_telemetry::counter_add("mor.deflations", deflations);
 
     // Congruence projection through the stamp-level mat-vecs — in the
     // PRIMA sign convention: the branch-current equation rows (inductor and

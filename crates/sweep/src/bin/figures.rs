@@ -58,10 +58,20 @@ fn main() -> ExitCode {
         None => SweepOptions::default(),
     };
 
+    // With RLCKIT_PROFILE=1 the sweeps below feed the telemetry registry;
+    // dump the summary table after the pipeline so a profiled figures run
+    // doubles as a quick where-does-the-time-go report.
+    let print_profile = || {
+        if rlckit_telemetry::enabled() {
+            print!("{}", rlckit_telemetry::Collector::snapshot().summary());
+        }
+    };
+
     if args.check {
         match check_all(&options, &args.out) {
             Ok(drifted) if drifted.is_empty() => {
                 println!("figures: all {} committed datasets match", FIGURES.len());
+                print_profile();
                 ExitCode::SUCCESS
             }
             Ok(drifted) => {
@@ -87,6 +97,7 @@ fn main() -> ExitCode {
                 for (figure, path) in FIGURES.iter().zip(paths.iter()) {
                     println!("wrote {} — {}", path.display(), figure.description);
                 }
+                print_profile();
                 ExitCode::SUCCESS
             }
             Err(e) => {

@@ -116,6 +116,7 @@ pub fn run_sweep_cached(
     options: &SweepOptions,
     cache: &mut SweepCache,
 ) -> Result<SweepResult, SweepError> {
+    let _span = rlckit_telemetry::span("sweep.run");
     let cells = spec.expand()?;
     let threads = options.threads.max(1);
 
@@ -130,6 +131,8 @@ pub fn run_sweep_cached(
         }
     }
     let cache_hits = cells.len() - pending.len();
+    rlckit_telemetry::counter_add("sweep.cache_hits", cache_hits as u64);
+    rlckit_telemetry::counter_add("sweep.cache_misses", pending.len() as u64);
 
     // Chunked work queue: one atomic cursor over the pending list. Chunks keep
     // queue traffic low on big grids while still giving each worker several
@@ -138,18 +141,35 @@ pub fn run_sweep_cached(
         if options.chunk > 0 { options.chunk } else { (pending.len() / (threads * 4)).max(1) };
     let computed: Mutex<Vec<ComputedCell>> = Mutex::new(Vec::with_capacity(pending.len()));
     let cursor = AtomicUsize::new(0);
+    // Hoisted once per run: workers pay one branch per chunk, not an atomic
+    // load per cell, and the per-worker clocks only exist while profiling.
+    let profiling = rlckit_telemetry::enabled();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(pending.len().max(1)) {
             scope.spawn(|| loop {
+                let wait_start = profiling.then(std::time::Instant::now);
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                 if start >= pending.len() {
                     break;
                 }
                 let end = (start + chunk).min(pending.len());
+                if let Some(t) = wait_start {
+                    rlckit_telemetry::observe_seconds(
+                        "sweep.worker_wait_seconds",
+                        t.elapsed().as_secs_f64(),
+                    );
+                }
+                let busy_start = profiling.then(std::time::Instant::now);
                 let mut local = Vec::with_capacity(end - start);
                 for &(index, key) in &pending[start..end] {
                     let outcome = evaluate_checked(evaluator, &cells[index].scenario);
                     local.push((index, key, outcome));
+                }
+                if let Some(t) = busy_start {
+                    rlckit_telemetry::observe_seconds(
+                        "sweep.worker_busy_seconds",
+                        t.elapsed().as_secs_f64(),
+                    );
                 }
                 computed.lock().expect("worker panicked holding results").extend(local);
             });
@@ -159,6 +179,7 @@ pub fn run_sweep_cached(
     let computed = computed.into_inner().expect("worker panicked holding results");
     let computed_count = computed.len();
     debug_assert_eq!(computed_count, pending.len());
+    rlckit_telemetry::counter_add("sweep.cells_evaluated", computed_count as u64);
     for (index, key, outcome) in computed {
         if let Ok(values) = &outcome {
             cache.insert(key, values.clone());

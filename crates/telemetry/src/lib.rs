@@ -1,0 +1,204 @@
+//! Zero-dependency tracing and metrics for the `rlckit` hot paths.
+//!
+//! Every expensive phase of the workspace — sparse symbolic analysis and
+//! numeric (re)factorisation, banded/dense kernels, MNA assembly, transient
+//! stepping, block-Arnoldi reduction, the sweep executor — carries an
+//! instrumentation site from this crate. The sites are **free when profiling
+//! is off**: each one costs a single relaxed atomic load (see [`enabled`]),
+//! so the instrumented kernels keep their benchmarked performance.
+//!
+//! Profiling is activated either by setting `RLCKIT_PROFILE=1` in the
+//! environment (read once, lazily) or programmatically through a
+//! [`Collector`] handle. While active, three kinds of measurements flow into
+//! one process-wide, thread-safe registry:
+//!
+//! * **spans** ([`span`]) — RAII-timed regions with parent nesting. A span's
+//!   registry key is its full slash-joined path (`"transient.run/
+//!   transient.stepping/sparse.solve"`), built from a per-thread span stack,
+//!   and each key accumulates call count, total wall time, **self** time
+//!   (total minus the time spent in child spans) and min/max durations on
+//!   the monotonic clock;
+//! * **counters / gauges** ([`counter_add`] / [`gauge_set`]) — atomic event
+//!   counts (cache hits, Arnoldi deflations, transient steps) and
+//!   last-write-wins measurements (fill ratio, pivot growth);
+//! * **histograms** ([`observe_seconds`]) — power-of-two-bucketed duration
+//!   distributions (per-step time, per-worker busy time).
+//!
+//! [`Collector::snapshot`] freezes everything into a deterministic
+//! [`ProfileSnapshot`], which renders as a human-readable summary table
+//! ([`ProfileSnapshot::summary`]) or as a flat `PROFILE_<name>.json`
+//! document ([`ProfileSnapshot::write`]) following the same dependency-free
+//! JSON conventions as the workspace's `BENCH_*.json` perf trajectories.
+//!
+//! This crate sits at the very bottom of the workspace graph (it depends
+//! only on `std`), so every other crate can instrument without cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use rlckit_telemetry::{counter_add, span, Collector};
+//!
+//! let collector = Collector::enable();
+//! {
+//!     let _outer = span("outer");
+//!     let _inner = span("inner");
+//!     counter_add("events", 3);
+//! }
+//! let snapshot = Collector::snapshot();
+//! assert_eq!(snapshot.counter("events"), Some(3));
+//! assert!(snapshot.span("outer/inner").is_some());
+//! drop(collector);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod span;
+
+pub use export::{HistogramSnapshot, ProfileSnapshot, SpanSnapshot};
+pub use metrics::{counter_add, gauge_set, observe_seconds};
+pub use span::{span, SpanGuard};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Global activation state: unresolved until the first site runs (or a
+/// [`Collector`] forces a state), then a plain on/off flag.
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// Returns `true` when profiling is active.
+///
+/// This is the per-site gate every instrumentation point starts with. After
+/// the first call it is exactly **one relaxed atomic load** — the contract
+/// that keeps the disabled kernels at their uninstrumented speed. The first
+/// call in a process resolves the `RLCKIT_PROFILE` environment variable
+/// (any non-empty value other than `"0"` activates profiling).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Cold path of [`enabled`]: resolve the environment once. A racing
+/// [`Collector`] wins over the environment (compare-exchange from `UNINIT`).
+#[cold]
+fn init_from_env() -> bool {
+    let on = match std::env::var("RLCKIT_PROFILE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    };
+    let from_env = if on { ON } else { OFF };
+    let _ = STATE.compare_exchange(UNINIT, from_env, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == ON
+}
+
+/// A handle over the process-wide metrics collector.
+///
+/// [`Collector::enable`] switches profiling on and returns an RAII guard
+/// that restores the previous activation state when dropped, so a scoped
+/// measurement (a bench assertion, a test) cannot leak profiling overhead
+/// into the rest of the process. The registry itself is cumulative across
+/// enable/disable cycles; use [`Collector::reset`] to clear it.
+#[derive(Debug)]
+pub struct Collector {
+    previous: u8,
+}
+
+impl Collector {
+    /// Switches profiling on, returning a guard that restores the previous
+    /// state on drop.
+    #[must_use]
+    pub fn enable() -> Self {
+        Self { previous: STATE.swap(ON, Ordering::Relaxed) }
+    }
+
+    /// Switches profiling off, returning a guard that restores the previous
+    /// state on drop.
+    #[must_use]
+    pub fn disable() -> Self {
+        Self { previous: STATE.swap(OFF, Ordering::Relaxed) }
+    }
+
+    /// Whether profiling is currently active (same gate as [`enabled`]).
+    pub fn is_enabled() -> bool {
+        enabled()
+    }
+
+    /// Freezes the current registry contents into a deterministic snapshot.
+    pub fn snapshot() -> ProfileSnapshot {
+        export::snapshot()
+    }
+
+    /// Clears every span, counter, gauge and histogram accumulated so far.
+    pub fn reset() {
+        metrics::reset();
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        STATE.store(self.previous, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// The activation state is process-global, so tests that toggle it must
+    /// not interleave; every test that enables/disables takes this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn lock() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_guard_restores_the_previous_state() {
+        let _serial = test_support::lock();
+        let baseline = Collector::disable();
+        assert!(!enabled());
+        {
+            let _on = Collector::enable();
+            assert!(enabled());
+            {
+                let _off = Collector::disable();
+                assert!(!enabled());
+            }
+            assert!(enabled(), "inner guard must restore the enabled state");
+        }
+        assert!(!enabled(), "outer guard must restore the disabled state");
+        drop(baseline);
+    }
+
+    #[test]
+    fn disabled_sites_record_nothing() {
+        let _serial = test_support::lock();
+        let _off = Collector::disable();
+        Collector::reset();
+        counter_add("lib.disabled_counter", 7);
+        gauge_set("lib.disabled_gauge", 1.0);
+        observe_seconds("lib.disabled_hist", 0.5);
+        {
+            let _span = span("lib.disabled_span");
+        }
+        let snapshot = Collector::snapshot();
+        assert_eq!(snapshot.counter("lib.disabled_counter"), None);
+        assert_eq!(snapshot.gauge("lib.disabled_gauge"), None);
+        assert!(snapshot.span("lib.disabled_span").is_none());
+        assert!(snapshot.histograms.iter().all(|h| h.name != "lib.disabled_hist"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The thread-safe metrics registry: counters, gauges, duration histograms
+//! and span statistics.
+//!
+//! Counters, gauges and histogram buckets are plain atomics behind a
+//! read-mostly `RwLock<BTreeMap>`: the write lock is only taken the first
+//! time a name appears, after which concurrent recordings from the sweep
+//! worker pool are lock-free `fetch_add`s on shared `Arc`ed cells. Span
+//! statistics are keyed by dynamic path strings and folded under a `Mutex`
+//! (span *ends* are orders of magnitude rarer than counter bumps).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+
+/// Number of power-of-two duration buckets: bucket `i` holds durations in
+/// `[2^i, 2^{i+1})` nanoseconds (bucket 0 additionally holds sub-ns
+/// observations), so 48 buckets span one nanosecond to ~3 days.
+pub(crate) const HISTOGRAM_BUCKETS: usize = 48;
+
+/// A fixed-layout concurrent duration histogram.
+#[derive(Debug)]
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    /// Sum of observed durations in nanoseconds (saturating).
+    sum_ns: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, seconds: f64) {
+        let ns = seconds_to_ns(seconds);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating accumulation: overflow would need ~584 years of
+        // recorded time, but stay defensive rather than wrap.
+        let mut current = self.sum_ns.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(ns);
+            match self.sum_ns.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn sum_seconds(&self) -> f64 {
+        self.sum_ns.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound in seconds, count)`,
+    /// ascending.
+    pub(crate) fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let n = self.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper_seconds(i), n))
+            })
+            .collect()
+    }
+}
+
+/// Maps a duration to nanoseconds for bucketing; non-finite and negative
+/// observations clamp to zero rather than poisoning the histogram.
+fn seconds_to_ns(seconds: f64) -> u64 {
+    if seconds.is_finite() && seconds > 0.0 {
+        (seconds * 1e9).min(u64::MAX as f64) as u64
+    } else {
+        0
+    }
+}
+
+/// Bucket of a nanosecond duration: `floor(log2(ns))`, clamped to the table.
+pub(crate) fn bucket_index(ns: u64) -> usize {
+    if ns < 2 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `i`, in seconds (`2^{i+1}` ns); the last
+/// bucket is unbounded and reports its nominal edge.
+pub(crate) fn bucket_upper_seconds(i: usize) -> f64 {
+    2f64.powi(i as i32 + 1) * 1e-9
+}
+
+/// Accumulated statistics of one span path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanStat {
+    pub(crate) count: u64,
+    pub(crate) total_seconds: f64,
+    pub(crate) self_seconds: f64,
+    pub(crate) min_seconds: f64,
+    pub(crate) max_seconds: f64,
+}
+
+/// The process-wide registry. Metric maps are keyed by `&'static str`
+/// because every instrumentation site names its metric with a literal;
+/// span paths are built at runtime and keyed by `String`.
+pub(crate) struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        counters: RwLock::new(BTreeMap::new()),
+        gauges: RwLock::new(BTreeMap::new()),
+        histograms: RwLock::new(BTreeMap::new()),
+        spans: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Looks up (or lazily creates) the shared cell for `name`. The read lock
+/// covers the common path; the write lock is only taken on first use of a
+/// name. Lock poisoning is ignored — the maps hold atomics whose state is
+/// valid regardless of where a panicking thread stopped.
+fn cell<V>(
+    map: &RwLock<BTreeMap<&'static str, Arc<V>>>,
+    name: &'static str,
+    new: fn() -> V,
+) -> Arc<V> {
+    if let Some(v) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
+        return Arc::clone(v);
+    }
+    let mut writer = map.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(writer.entry(name).or_insert_with(|| Arc::new(new())))
+}
+
+/// Adds `delta` to the counter `name`. One relaxed atomic load when
+/// profiling is off.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    cell(&registry().counters, name, || AtomicU64::new(0)).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Sets the gauge `name` to `value` (last write wins). One relaxed atomic
+/// load when profiling is off.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    cell(&registry().gauges, name, || AtomicU64::new(0)).store(value.to_bits(), Ordering::Relaxed);
+}
+
+/// Records one duration observation into the histogram `name`. One relaxed
+/// atomic load when profiling is off.
+#[inline]
+pub fn observe_seconds(name: &'static str, seconds: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    cell(&registry().histograms, name, Histogram::new).record(seconds);
+}
+
+/// Folds one finished span occurrence into the stats of its path.
+pub(crate) fn record_span(path: &str, total_seconds: f64, self_seconds: f64) {
+    let mut spans = lock_spans();
+    match spans.get_mut(path) {
+        Some(stat) => {
+            stat.count += 1;
+            stat.total_seconds += total_seconds;
+            stat.self_seconds += self_seconds;
+            stat.min_seconds = stat.min_seconds.min(total_seconds);
+            stat.max_seconds = stat.max_seconds.max(total_seconds);
+        }
+        None => {
+            spans.insert(
+                path.to_owned(),
+                SpanStat {
+                    count: 1,
+                    total_seconds,
+                    self_seconds,
+                    min_seconds: total_seconds,
+                    max_seconds: total_seconds,
+                },
+            );
+        }
+    }
+}
+
+pub(crate) fn lock_spans() -> MutexGuard<'static, BTreeMap<String, SpanStat>> {
+    registry().spans.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears every accumulated metric (the registered names are forgotten,
+/// not just zeroed, so snapshots after a reset only show fresh activity).
+pub(crate) fn reset() {
+    let r = registry();
+    r.counters.write().unwrap_or_else(PoisonError::into_inner).clear();
+    r.gauges.write().unwrap_or_else(PoisonError::into_inner).clear();
+    r.histograms.write().unwrap_or_else(PoisonError::into_inner).clear();
+    lock_spans().clear();
+}
+
+/// Snapshot accessors used by the exporter.
+pub(crate) fn counters_snapshot() -> Vec<(String, u64)> {
+    registry()
+        .counters
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(name, v)| ((*name).to_owned(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+pub(crate) fn gauges_snapshot() -> Vec<(String, f64)> {
+    registry()
+        .gauges
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(name, v)| ((*name).to_owned(), f64::from_bits(v.load(Ordering::Relaxed))))
+        .collect()
+}
+
+/// One exported histogram: `(name, count, sum_seconds, nonzero (le, count) buckets)`.
+pub(crate) type HistogramRow = (String, u64, f64, Vec<(f64, u64)>);
+
+pub(crate) fn histograms_snapshot() -> Vec<HistogramRow> {
+    registry()
+        .histograms
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(name, h)| ((*name).to_owned(), h.count(), h.sum_seconds(), h.nonzero_buckets()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support;
+    use crate::Collector;
+
+    #[test]
+    fn bucket_index_follows_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        // Everything past the table clamps into the last bucket.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Bucket upper bounds are the exclusive power-of-two edges.
+        assert!((bucket_upper_seconds(0) - 2e-9).abs() < 1e-18);
+        assert!((bucket_upper_seconds(9) - 1024e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_observations_clamp_to_zero() {
+        assert_eq!(seconds_to_ns(f64::NAN), 0);
+        assert_eq!(seconds_to_ns(f64::INFINITY), 0);
+        assert_eq!(seconds_to_ns(-1.0), 0);
+        assert_eq!(seconds_to_ns(1e-12), 0); // sub-ns rounds down
+        assert_eq!(seconds_to_ns(1.5e-9), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_where_expected() {
+        let _serial = test_support::lock();
+        let _on = Collector::enable();
+        Collector::reset();
+        // 100 ns → bucket 6 ([64, 128) ns, upper edge 128 ns); 1 ms → bucket
+        // 19 ([~0.52, ~1.05) ms, upper edge 2^20 ns).
+        observe_seconds("metrics.bucketing", 100e-9);
+        observe_seconds("metrics.bucketing", 100e-9);
+        observe_seconds("metrics.bucketing", 1e-3);
+        let snapshot = Collector::snapshot();
+        let h = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "metrics.bucketing")
+            .expect("histogram recorded");
+        assert_eq!(h.count, 3);
+        assert!((h.sum_seconds - (200e-9 + 1e-3)).abs() < 1e-9);
+        assert_eq!(h.buckets.len(), 2, "two distinct buckets: {:?}", h.buckets);
+        let (edge_fast, n_fast) = h.buckets[0];
+        let (edge_slow, n_slow) = h.buckets[1];
+        assert_eq!(n_fast, 2);
+        assert!((edge_fast - 128e-9).abs() < 1e-15, "100 ns lands in [64, 128) ns");
+        assert_eq!(n_slow, 1);
+        assert!((edge_slow - 2f64.powi(20) * 1e-9).abs() < 1e-12, "1 ms lands under 2^20 ns");
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let _serial = test_support::lock();
+        let _on = Collector::enable();
+        Collector::reset();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 2_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        counter_add("metrics.concurrent", 1);
+                    }
+                });
+            }
+        });
+        let snapshot = Collector::snapshot();
+        assert_eq!(snapshot.counter("metrics.concurrent"), Some(THREADS * PER_THREAD));
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_and_reset_clears() {
+        let _serial = test_support::lock();
+        let _on = Collector::enable();
+        Collector::reset();
+        gauge_set("metrics.gauge", 1.5);
+        gauge_set("metrics.gauge", 2.5);
+        assert_eq!(Collector::snapshot().gauge("metrics.gauge"), Some(2.5));
+        Collector::reset();
+        assert_eq!(Collector::snapshot().gauge("metrics.gauge"), None);
+    }
+}

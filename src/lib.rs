@@ -13,6 +13,7 @@ pub use rlckit_numeric as numeric;
 pub use rlckit_reduce as reduce;
 pub use rlckit_repeater as repeater;
 pub use rlckit_sweep as sweep;
+pub use rlckit_telemetry as telemetry;
 pub use rlckit_units as units;
 
 /// Commonly used types and functions, re-exported for convenient glob imports.
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use rlckit_sweep::scenario::{Param, Scenario, TechnologyNode};
     pub use rlckit_sweep::sink::{CsvSink, JsonSink};
     pub use rlckit_sweep::spec::{Axis, SweepSpec};
+    pub use rlckit_telemetry::{span, Collector, ProfileSnapshot};
     pub use rlckit_units::{
         Area, Capacitance, CapacitancePerLength, Energy, Frequency, Inductance,
         InductancePerLength, Length, Power, Resistance, ResistancePerLength, Time, Voltage,

@@ -1,0 +1,109 @@
+//! Telemetry must be a pure observer: enabling the collector may not change
+//! any numerical output, bit for bit.
+//!
+//! Each property runs the same workload twice — once with profiling forced
+//! off, once with the [`Collector`] enabled — and compares the results via
+//! `f64::to_bits`, so even a sign-of-zero or NaN-payload difference fails.
+//! The workloads cover the three instrumented layers: the sparse LU kernel,
+//! the transient stepping loop, and the parameter-sweep executor.
+//!
+//! This lives in its own integration-test binary on purpose: the collector
+//! state is process-global, and here nothing else races it.
+
+use proptest::prelude::*;
+
+use rlckit::circuit::transient::{run_transient, TransientOptions};
+use rlckit::numeric::sparse::{CscMatrix, SparseLuFactor};
+use rlckit::prelude::*;
+
+/// Runs `workload` once with profiling off and once with it on, returning
+/// both outputs for comparison.
+fn off_and_on<T>(mut workload: impl FnMut() -> T) -> (T, T) {
+    let off = {
+        let _collector = Collector::disable();
+        workload()
+    };
+    let on = {
+        let _collector = Collector::enable();
+        workload()
+    };
+    (off, on)
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sparse factor + solve: identical solution vectors either way.
+    #[test]
+    fn sparse_solve_is_bitwise_invariant(
+        (n_seed, shift, rhs_seed) in (5.0f64..40.0, 0.1f64..2.0, 0.0f64..1.0)
+    ) {
+        let n = n_seed as usize;
+        // An unsymmetric diagonally dominant tridiagonal system: enough
+        // structure to exercise elimination and pivot-growth accounting.
+        let mut triplets = Vec::new();
+        for i in 0..n {
+            triplets.push((i, i, 4.0 + shift));
+            if i + 1 < n {
+                triplets.push((i + 1, i, -1.0));
+                triplets.push((i, i + 1, -1.5));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &triplets);
+        let b: Vec<f64> = (0..n).map(|i| rhs_seed + i as f64 / n as f64).collect();
+        let (off, on) = off_and_on(|| {
+            let factor = SparseLuFactor::factor_auto(&a).expect("dominant system factors");
+            factor.solve(&b)
+        });
+        prop_assert_eq!(bits(&off), bits(&on));
+    }
+
+    /// Transient ladder simulation: identical time grids and waveforms.
+    #[test]
+    fn transient_run_is_bitwise_invariant(
+        (length_mm, seg_seed) in (2.0f64..10.0, 8.0f64..24.0)
+    ) {
+        let tech = Technology::quarter_micron();
+        let line = tech.global_wire.line(Length::from_millimeters(length_mm)).unwrap();
+        let mut spec = LadderSpec::new(
+            line.total_resistance(),
+            line.total_inductance(),
+            line.total_capacitance(),
+            tech.buffer_resistance(100.0).unwrap(),
+            tech.buffer_capacitance(100.0).unwrap(),
+        );
+        spec.segments = seg_seed as usize;
+        let ladder = spec.build().unwrap();
+        let options = TransientOptions::new(spec.suggested_stop_time(), spec.suggested_timestep());
+        let (off, on) = off_and_on(|| {
+            let result = run_transient(&ladder.circuit, &options).expect("ladder simulates");
+            let output = result.node_voltage(ladder.output);
+            (bits(result.times()), bits(output.values()))
+        });
+        prop_assert_eq!(off, on);
+    }
+
+    /// Parameter sweep: identical row values (and row count) either way.
+    #[test]
+    fn sweep_is_bitwise_invariant(
+        (l0, l1, h) in (1.0f64..4.0, 5.0f64..9.0, 40.0f64..160.0)
+    ) {
+        let spec = SweepSpec::new(Scenario::default())
+            .axis(Axis::new("length_mm", [l0, l1].map(Param::LineLengthMm)))
+            .axis(Axis::new("h", [h].map(Param::DriverSize)));
+        let opts = SweepOptions::with_threads(2);
+        let (off, on) = off_and_on(|| {
+            let result = run_sweep(&spec, &DelayModelEvaluator, &opts).expect("sweep runs");
+            result
+                .rows
+                .iter()
+                .map(|row| bits(row.values.as_ref().expect("model evaluates")))
+                .collect::<Vec<_>>()
+        });
+        prop_assert_eq!(off, on);
+    }
+}
