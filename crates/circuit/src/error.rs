@@ -47,6 +47,16 @@ pub enum CircuitError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A named element could not be added. Wraps the underlying error with
+    /// the caller-supplied element name so higher-level frontends (the deck
+    /// parser in particular) can cite the offending card instead of a bare
+    /// node or value.
+    Element {
+        /// The caller-supplied element name (e.g. `"R7"` or `"Lclk"`).
+        name: String,
+        /// The underlying construction error.
+        source: Box<CircuitError>,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -70,11 +80,19 @@ impl fmt::Display for CircuitError {
             }
             Self::InvalidAnalysis { reason } => write!(f, "invalid analysis options: {reason}"),
             Self::Measurement { reason } => write!(f, "measurement failed: {reason}"),
+            Self::Element { name, source } => write!(f, "element \"{name}\": {source}"),
         }
     }
 }
 
-impl Error for CircuitError {}
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Element { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<FactorizeError> for CircuitError {
     fn from(_: FactorizeError) -> Self {
@@ -102,6 +120,14 @@ mod tests {
         assert!(CircuitError::Measurement { reason: "no crossing".into() }
             .to_string()
             .contains("no crossing"));
+        // The named-element wrapper cites the element and keeps the cause.
+        let wrapped = CircuitError::Element {
+            name: "R7".into(),
+            source: Box::new(CircuitError::InvalidValue { what: "resistance", value: -1.0 }),
+        };
+        assert_eq!(wrapped.to_string(), "element \"R7\": invalid resistance: -1");
+        assert!(Error::source(&wrapped).is_some());
+        assert!(Error::source(&CircuitError::EmptyCircuit).is_none());
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Deck-corpus gate for CI.
+//!
+//! Walks a corpus directory (default `tests/decks/` at the workspace root),
+//! parses every `*.cir` deck, and enforces the golden contract:
+//!
+//! * decks *without* a sibling `<name>.expected` file must parse and lower
+//!   cleanly;
+//! * decks *with* one are deliberately malformed, and their full diagnostic
+//!   (`ParseError` display) must match the expected file byte for byte.
+//!
+//! With `--bless`, mismatching or missing `.expected` files are rewritten
+//! from the current diagnostics instead of failing.
+//!
+//! Exits non-zero on any violation, printing one line per deck.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rlckit_netlist::parse_circuit;
+
+fn corpus_dir() -> PathBuf {
+    // The binary runs from anywhere in the workspace; walk up from the
+    // manifest dir (crates/netlist) to the root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(|root| root.join("tests").join("decks"))
+        .unwrap_or_else(|| PathBuf::from("tests/decks"))
+}
+
+fn check_deck(path: &Path, bless: bool) -> Result<&'static str, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable deck: {e}"))?;
+    let expected_path = path.with_extension("expected");
+    let outcome = parse_circuit(&text);
+    match (outcome, expected_path.exists()) {
+        (Ok(parsed), false) => {
+            if parsed.circuit.is_empty() {
+                Err("parsed to an empty circuit".to_owned())
+            } else {
+                Ok("ok")
+            }
+        }
+        (Ok(_), true) => Err(format!(
+            "expected the diagnostic in {} but the deck parsed cleanly",
+            expected_path.display()
+        )),
+        (Err(e), true) => {
+            let got = format!("{e}\n");
+            let want = std::fs::read_to_string(&expected_path)
+                .map_err(|e| format!("unreadable expected file: {e}"))?;
+            if got == want {
+                Ok("diagnostic ok")
+            } else if bless {
+                std::fs::write(&expected_path, &got).map_err(|e| format!("cannot bless: {e}"))?;
+                Ok("blessed")
+            } else {
+                Err(format!("diagnostic drifted\n--- expected\n{want}--- got\n{got}"))
+            }
+        }
+        (Err(e), false) => {
+            if bless {
+                std::fs::write(&expected_path, format!("{e}\n"))
+                    .map_err(|e| format!("cannot bless: {e}"))?;
+                Ok("blessed")
+            } else {
+                Err(format!("unexpected parse failure:\n{e}"))
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let dir =
+        args.iter().find(|a| !a.starts_with("--")).map(PathBuf::from).unwrap_or_else(corpus_dir);
+    let mut decks: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "cir"))
+            .collect(),
+        Err(e) => {
+            eprintln!("corpus_check: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    decks.sort();
+    if decks.is_empty() {
+        eprintln!("corpus_check: no *.cir decks under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for deck in &decks {
+        let name = deck.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        match check_deck(deck, bless) {
+            Ok(status) => println!("corpus_check: {name}: {status}"),
+            Err(reason) => {
+                failures += 1;
+                eprintln!("corpus_check: {name}: FAILED: {reason}");
+            }
+        }
+    }
+    println!("corpus_check: {} deck(s), {failures} failure(s)", decks.len());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,72 @@
+//! SPICE-subset netlist frontend for the `rlckit` workspace.
+//!
+//! Everything else in the reproduction builds circuits programmatically;
+//! this crate makes the system *ingest-complete*: externally authored decks
+//! lower to the same [`rlckit_circuit::Circuit`] the builders produce, and
+//! any circuit can be unparsed back to a deck.
+//!
+//! # The deck subset
+//!
+//! * **Elements** — `R`/`C`/`L` two-terminal cards (`R1 in out 50`),
+//!   `K` mutual-inductance cards naming two `L` elements
+//!   (`K1 L1 L2 0.4`), `V`/`I` sources with the waveforms of
+//!   [`rlckit_circuit::SourceWaveform`]: a bare DC value, `DC v`,
+//!   `STEP(a d)`, `RAMP(a d tr)`, `PULSE(a d te w)`, `PWL(t1 v1 ...)`.
+//! * **Numbers** — decimal with optional exponent and SPICE SI suffix
+//!   (`10k`, `1.5pF`, `2meg`, case-insensitive; trailing unit letters are
+//!   ignored).
+//! * **Hierarchy** — `.subckt name ports... [param=default...]` / `.ends`,
+//!   instantiated with `Xname nodes... subckt [param=value...]`; `{param}`
+//!   references in body values resolve against the instance's environment.
+//! * **Structure** — `*` comment lines, `;` end-of-line comments, `+`
+//!   continuation lines, `.nodes` to pin node numbering (what the writer
+//!   emits so round-trips preserve identifiers), `.end`.
+//! * **Ground** — node `0` or `gnd` (any case).
+//!
+//! # Diagnostics
+//!
+//! Malformed input never panics: every failure is a [`ParseError`] carrying
+//! the 1-based line/column, the offending card and a one-line hint, with a
+//! typed [`ParseErrorKind`] for programmatic matching.
+//!
+//! # Example
+//!
+//! ```
+//! use rlckit_netlist::parse_circuit;
+//!
+//! # fn main() -> Result<(), rlckit_netlist::ParseError> {
+//! let parsed = parse_circuit(
+//!     "* driven RC divider\n\
+//!      V1 in 0 STEP(1 0)\n\
+//!      R1 in out 1k\n\
+//!      C1 out 0 1pF\n\
+//!      .end\n",
+//! )?;
+//! let out = parsed.node("out").expect("the deck names this node");
+//! // Evaluate sources after the step has fired: at t = 0 a STEP is still 0 V.
+//! let t = rlckit_units::Time::from_seconds(1.0);
+//! let op = rlckit_circuit::dc::operating_point_at(&parsed.circuit, t).unwrap();
+//! assert!((op.node_voltage(out).volts() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The [`sram`] module generates SRAM bitline/wordline array decks — the
+//! crate's scaling workload — and [`write::circuit_to_deck`] unparses any
+//! circuit for round-trip testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+pub mod sram;
+pub mod write;
+
+pub use error::{ParseError, ParseErrorKind};
+pub use lower::{lower_deck, parse_circuit, ParsedCircuit, MAX_SUBCKT_DEPTH};
+pub use parse::{parse_deck, parse_spice_number, Deck};
+pub use sram::{measure_sram_read, SramArraySpec, SramNet, SramReadReport};
+pub use write::circuit_to_deck;

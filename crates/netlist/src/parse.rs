@@ -1,0 +1,824 @@
+//! Recursive-descent parser from lexed cards to a deck AST.
+//!
+//! The grammar is the classic SPICE card subset: the first letter of an
+//! element card selects its form, directives start with a dot. Parsing keeps
+//! names and `{param}` references symbolic — resolution against scopes and
+//! subcircuit parameter environments happens in [`crate::lower`].
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lex::{lex, Card, Token};
+
+/// Parses a number written the SPICE way: a decimal mantissa with optional
+/// exponent, then an optional SI suffix (`f p n u m k meg g t`,
+/// case-insensitive, `meg` checked before `m`), then optional unit letters
+/// which are ignored (`10k`, `1.5pF`, `2meg`, `0.1nH`, `3e-9`, `5ohm`).
+///
+/// Returns `None` when the text is not a number in this form.
+pub fn parse_spice_number(text: &str) -> Option<f64> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    if matches!(bytes.first(), Some(b'+') | Some(b'-')) {
+        i += 1;
+    }
+    let int_start = i;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let int_digits = i - int_start;
+    let mut frac_digits = 0;
+    if bytes.get(i) == Some(&b'.') {
+        i += 1;
+        let s = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        frac_digits = i - s;
+    }
+    if int_digits == 0 && frac_digits == 0 {
+        return None;
+    }
+    if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+        // Only consume the exponent if digits actually follow; a bare `1e`
+        // leaves the `e` to the suffix scanner (where it means no scaling),
+        // matching SPICE's trailing-letters-are-ignored convention.
+        let mut j = i + 1;
+        if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        let digit_start = j;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > digit_start {
+            i = j;
+        }
+    }
+    let mantissa: f64 = text[..i].parse().ok()?;
+    let rest = &text[i..];
+    if rest.is_empty() {
+        return Some(mantissa);
+    }
+    if !rest.chars().all(|c| c.is_ascii_alphabetic()) {
+        return None;
+    }
+    let lower = rest.to_ascii_lowercase();
+    let mult = if lower.starts_with("meg") {
+        1e6
+    } else {
+        match lower.as_bytes()[0] {
+            b'f' => 1e-15,
+            b'p' => 1e-12,
+            b'n' => 1e-9,
+            b'u' => 1e-6,
+            b'm' => 1e-3,
+            b'k' => 1e3,
+            b'g' => 1e9,
+            b't' => 1e12,
+            // Any other letters are a unit word (`ohm`, `v`, `s`, ...).
+            _ => 1.0,
+        }
+    };
+    Some(mantissa * mult)
+}
+
+/// A numeric field of a card: either a literal or a `{param}` reference to be
+/// resolved against the enclosing subcircuit's parameters at lowering time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A literal number, already scaled by its SI suffix.
+    Literal(f64),
+    /// A `{name}` parameter reference; the token keeps the braces and the
+    /// position for diagnostics.
+    Param(Token),
+}
+
+impl Value {
+    /// The parameter name of a `Param` value (without braces).
+    pub(crate) fn param_name(token: &Token) -> &str {
+        token.text.trim_start_matches('{').trim_end_matches('}')
+    }
+}
+
+/// A source excitation as written on a `V` or `I` card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveformAst {
+    /// `DC v` or a bare value.
+    Dc(Value),
+    /// `STEP(amplitude delay)`.
+    Step(Value, Value),
+    /// `RAMP(amplitude delay rise_time)`.
+    Ramp(Value, Value, Value),
+    /// `PULSE(amplitude delay edge_time width)`.
+    Pulse(Value, Value, Value, Value),
+    /// `PWL(t1 v1 t2 v2 ...)`.
+    Pwl(Vec<(Value, Value)>),
+}
+
+/// The element-specific payload of a card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CardKind {
+    /// `Rxxx plus minus value`.
+    Resistor {
+        /// Positive terminal node name.
+        plus: Token,
+        /// Negative terminal node name.
+        minus: Token,
+        /// Resistance in ohms.
+        value: Value,
+    },
+    /// `Cxxx plus minus value`.
+    Capacitor {
+        /// Positive terminal node name.
+        plus: Token,
+        /// Negative terminal node name.
+        minus: Token,
+        /// Capacitance in farads.
+        value: Value,
+    },
+    /// `Lxxx plus minus value`.
+    Inductor {
+        /// Positive terminal node name.
+        plus: Token,
+        /// Negative terminal node name.
+        minus: Token,
+        /// Inductance in henries.
+        value: Value,
+    },
+    /// `Kxxx Lfirst Lsecond coupling`.
+    Mutual {
+        /// Name of the first coupled inductor.
+        first: Token,
+        /// Name of the second coupled inductor.
+        second: Token,
+        /// Coupling coefficient `k`.
+        value: Value,
+    },
+    /// `Vxxx plus minus waveform`.
+    Voltage {
+        /// Positive terminal node name.
+        plus: Token,
+        /// Negative terminal node name.
+        minus: Token,
+        /// The excitation.
+        waveform: WaveformAst,
+    },
+    /// `Ixxx plus minus waveform` (amplitudes in amperes).
+    Current {
+        /// Terminal the current is injected into.
+        plus: Token,
+        /// Terminal the current returns from.
+        minus: Token,
+        /// The excitation.
+        waveform: WaveformAst,
+    },
+    /// `Xxxx n1 ... nk subckt [p=v ...]`.
+    Instance {
+        /// Nodes bound to the subcircuit's ports, in port order.
+        nodes: Vec<Token>,
+        /// Name of the instantiated subcircuit.
+        subckt: Token,
+        /// Parameter overrides in written order.
+        overrides: Vec<(Token, Value)>,
+    },
+}
+
+/// One parsed element card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementCard {
+    /// The element's name token (e.g. `R1`), carrying its position.
+    pub name: Token,
+    /// The element-specific fields.
+    pub kind: CardKind,
+    /// The card text, clipped, for diagnostics raised during lowering.
+    pub text: String,
+}
+
+/// A `.subckt` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subckt {
+    /// The subcircuit's name.
+    pub name: String,
+    /// Declared port names in order.
+    pub ports: Vec<String>,
+    /// Declared parameters with their default values, in order.
+    pub params: Vec<(String, f64)>,
+    /// Local `.nodes` declarations inside the definition.
+    pub declared_nodes: Vec<Token>,
+    /// The body cards in order.
+    pub cards: Vec<ElementCard>,
+}
+
+/// A parsed deck: top-level cards plus the subcircuit definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deck {
+    /// Top-level element cards in order.
+    pub cards: Vec<ElementCard>,
+    /// `.nodes` declarations, in order, establishing node numbering ahead of
+    /// first use (the writer emits one so round-trips preserve numbering).
+    pub declared_nodes: Vec<Token>,
+    /// Subcircuit definitions by name.
+    pub subckts: BTreeMap<String, Subckt>,
+}
+
+fn err(tok: &Token, card: &Card, kind: ParseErrorKind) -> ParseError {
+    ParseError::at_line(tok.line, tok.column, &card.text, kind)
+}
+
+/// The token at `idx`, or a `MissingToken` diagnostic pointing just past the
+/// card's last token.
+fn expect<'a>(card: &'a Card, idx: usize, expected: &'static str) -> Result<&'a Token, ParseError> {
+    card.tokens.get(idx).ok_or_else(|| {
+        let last = card.tokens.last().expect("cards are never empty");
+        ParseError::at_line(
+            last.line,
+            last.column + last.text.chars().count(),
+            &card.text,
+            ParseErrorKind::MissingToken { expected },
+        )
+    })
+}
+
+fn no_extra(card: &Card, idx: usize) -> Result<(), ParseError> {
+    match card.tokens.get(idx) {
+        None => Ok(()),
+        Some(extra) => {
+            Err(err(extra, card, ParseErrorKind::ExtraToken { token: extra.text.clone() }))
+        }
+    }
+}
+
+fn parse_value(tok: &Token, card: &Card) -> Result<Value, ParseError> {
+    if tok.text.starts_with('{') && tok.text.ends_with('}') && tok.text.chars().count() > 2 {
+        return Ok(Value::Param(tok.clone()));
+    }
+    match parse_spice_number(&tok.text) {
+        Some(v) => Ok(Value::Literal(v)),
+        None => Err(err(tok, card, ParseErrorKind::BadNumber { token: tok.text.clone() })),
+    }
+}
+
+fn parse_waveform(card: &Card, idx: usize) -> Result<(WaveformAst, usize), ParseError> {
+    let first = expect(card, idx, "a source value or waveform")?;
+    let keyword = first.text.to_ascii_lowercase();
+    let value_at = |i: usize, what: &'static str| -> Result<Value, ParseError> {
+        parse_value(expect(card, i, what)?, card)
+    };
+    match keyword.as_str() {
+        "dc" => Ok((WaveformAst::Dc(value_at(idx + 1, "a DC level")?), idx + 2)),
+        "step" => Ok((
+            WaveformAst::Step(
+                value_at(idx + 1, "a step amplitude")?,
+                value_at(idx + 2, "a step delay")?,
+            ),
+            idx + 3,
+        )),
+        "ramp" => Ok((
+            WaveformAst::Ramp(
+                value_at(idx + 1, "a ramp amplitude")?,
+                value_at(idx + 2, "a ramp delay")?,
+                value_at(idx + 3, "a ramp rise time")?,
+            ),
+            idx + 4,
+        )),
+        "pulse" => Ok((
+            WaveformAst::Pulse(
+                value_at(idx + 1, "a pulse amplitude")?,
+                value_at(idx + 2, "a pulse delay")?,
+                value_at(idx + 3, "a pulse edge time")?,
+                value_at(idx + 4, "a pulse width")?,
+            ),
+            idx + 5,
+        )),
+        "pwl" => {
+            let mut points = Vec::new();
+            let mut i = idx + 1;
+            // PWL consumes the rest of the card, in (time, value) pairs.
+            while i < card.tokens.len() {
+                let t = value_at(i, "a PWL corner time")?;
+                let v = value_at(i + 1, "a PWL value to pair with the last time")?;
+                points.push((t, v));
+                i += 2;
+            }
+            if points.is_empty() {
+                let _ = value_at(idx + 1, "a PWL corner time")?;
+            }
+            Ok((WaveformAst::Pwl(points), i))
+        }
+        _ => {
+            // A bare number is DC shorthand; anything else is not a waveform.
+            if first.text.starts_with('{') || parse_spice_number(&first.text).is_some() {
+                Ok((WaveformAst::Dc(parse_value(first, card)?), idx + 1))
+            } else {
+                Err(err(first, card, ParseErrorKind::UnknownWaveform { token: first.text.clone() }))
+            }
+        }
+    }
+}
+
+/// Is this node name one of the ground spellings (`0`, `gnd`, any case)?
+pub(crate) fn is_ground(name: &str) -> bool {
+    name == "0" || name.eq_ignore_ascii_case("gnd")
+}
+
+/// The two halves of an instance-style tail: positional tokens, then
+/// `name=value` overrides.
+type PlainAndOverrides = (Vec<Token>, Vec<(Token, Value)>);
+
+/// Splits instance-style tails (`n1 n2 ... name p=v q=w`) into plain tokens
+/// and `name=value` overrides. Once the first `=` appears, only further
+/// assignments may follow.
+fn split_plain_and_overrides(card: &Card, start: usize) -> Result<PlainAndOverrides, ParseError> {
+    let mut plain: Vec<Token> = Vec::new();
+    let mut overrides: Vec<(Token, Value)> = Vec::new();
+    let mut i = start;
+    while i < card.tokens.len() {
+        let tok = &card.tokens[i];
+        if tok.text == "=" {
+            return Err(err(tok, card, ParseErrorKind::BadParameter { token: "=".into() }));
+        }
+        if card.tokens.get(i + 1).map(|t| t.text.as_str()) == Some("=") {
+            let value_tok = expect(card, i + 2, "a parameter value")?;
+            if value_tok.text == "=" {
+                return Err(err(
+                    value_tok,
+                    card,
+                    ParseErrorKind::BadParameter { token: "=".into() },
+                ));
+            }
+            let value = parse_value(value_tok, card)?;
+            if overrides.iter().any(|(name, _)| name.text == tok.text) {
+                return Err(err(
+                    tok,
+                    card,
+                    ParseErrorKind::BadParameter { token: tok.text.clone() },
+                ));
+            }
+            overrides.push((tok.clone(), value));
+            i += 3;
+        } else if overrides.is_empty() {
+            plain.push(tok.clone());
+            i += 1;
+        } else {
+            return Err(err(tok, card, ParseErrorKind::BadParameter { token: tok.text.clone() }));
+        }
+    }
+    Ok((plain, overrides))
+}
+
+fn parse_element_card(card: &Card, names: &mut HashSet<String>) -> Result<ElementCard, ParseError> {
+    let leader = &card.tokens[0];
+    if !names.insert(leader.text.clone()) {
+        return Err(err(
+            leader,
+            card,
+            ParseErrorKind::DuplicateElement { name: leader.text.clone() },
+        ));
+    }
+    let letter = leader.text.chars().next().expect("tokens are never empty").to_ascii_uppercase();
+    let kind = match letter {
+        'R' | 'C' | 'L' => {
+            let plus = expect(card, 1, "a node name")?.clone();
+            let minus = expect(card, 2, "a node name")?.clone();
+            let value = parse_value(expect(card, 3, "a value")?, card)?;
+            no_extra(card, 4)?;
+            match letter {
+                'R' => CardKind::Resistor { plus, minus, value },
+                'C' => CardKind::Capacitor { plus, minus, value },
+                _ => CardKind::Inductor { plus, minus, value },
+            }
+        }
+        'K' => {
+            let first = expect(card, 1, "an inductor name")?.clone();
+            let second = expect(card, 2, "an inductor name")?.clone();
+            let value = parse_value(expect(card, 3, "a coupling coefficient")?, card)?;
+            no_extra(card, 4)?;
+            CardKind::Mutual { first, second, value }
+        }
+        'V' | 'I' => {
+            let plus = expect(card, 1, "a node name")?.clone();
+            let minus = expect(card, 2, "a node name")?.clone();
+            let (waveform, next) = parse_waveform(card, 3)?;
+            no_extra(card, next)?;
+            if letter == 'V' {
+                CardKind::Voltage { plus, minus, waveform }
+            } else {
+                CardKind::Current { plus, minus, waveform }
+            }
+        }
+        'X' => {
+            let (mut plain, overrides) = split_plain_and_overrides(card, 1)?;
+            let Some(subckt) = plain.pop() else {
+                return Err(expect(card, card.tokens.len(), "a subcircuit name")
+                    .expect_err("index is past the end"));
+            };
+            CardKind::Instance { nodes: plain, subckt, overrides }
+        }
+        _ => {
+            return Err(err(
+                leader,
+                card,
+                ParseErrorKind::UnknownCard { leader: leader.text.clone() },
+            ));
+        }
+    };
+    Ok(ElementCard { name: leader.clone(), kind, text: card.text.clone() })
+}
+
+/// Parses `.nodes n1 n2 ...`, appending to `declared` with duplicate and
+/// ground checks (`seen` spans all `.nodes` cards of the scope).
+fn parse_nodes_directive(
+    card: &Card,
+    declared: &mut Vec<Token>,
+    seen: &mut HashSet<String>,
+) -> Result<(), ParseError> {
+    let _ = expect(card, 1, "a node name")?;
+    for tok in &card.tokens[1..] {
+        if is_ground(&tok.text) {
+            return Err(err(tok, card, ParseErrorKind::NodesListsGround));
+        }
+        if !seen.insert(tok.text.clone()) {
+            return Err(err(tok, card, ParseErrorKind::DuplicateNode { name: tok.text.clone() }));
+        }
+        declared.push(tok.clone());
+    }
+    Ok(())
+}
+
+/// State for an open `.subckt` definition while its body is parsed.
+struct OpenSubckt {
+    subckt: Subckt,
+    header: Token,
+    header_text: String,
+    names: HashSet<String>,
+    declared: HashSet<String>,
+}
+
+/// Parses deck text into a [`Deck`] AST.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered, in card order.
+pub fn parse_deck(text: &str) -> Result<Deck, ParseError> {
+    let cards = lex(text)?;
+    if cards.is_empty() {
+        return Err(ParseError::at_line(1, 1, "", ParseErrorKind::EmptyDeck));
+    }
+    let mut deck = Deck { cards: Vec::new(), declared_nodes: Vec::new(), subckts: BTreeMap::new() };
+    let mut top_names: HashSet<String> = HashSet::new();
+    let mut top_declared: HashSet<String> = HashSet::new();
+    let mut open: Option<OpenSubckt> = None;
+    let mut end_seen = false;
+
+    for card in &cards {
+        let leader = &card.tokens[0];
+        if end_seen {
+            return Err(err(leader, card, ParseErrorKind::CardAfterEnd));
+        }
+        if leader.text.starts_with('.') {
+            match leader.text.to_ascii_lowercase().as_str() {
+                ".subckt" => {
+                    if open.is_some() {
+                        return Err(err(leader, card, ParseErrorKind::NestedSubckt));
+                    }
+                    let name_tok = expect(card, 1, "a subcircuit name")?;
+                    if deck.subckts.contains_key(&name_tok.text) {
+                        return Err(err(
+                            name_tok,
+                            card,
+                            ParseErrorKind::DuplicateSubckt { name: name_tok.text.clone() },
+                        ));
+                    }
+                    let (ports, defaults) = split_plain_and_overrides(card, 2)?;
+                    let mut port_names = HashSet::new();
+                    for port in &ports {
+                        if is_ground(&port.text) {
+                            return Err(err(port, card, ParseErrorKind::NodesListsGround));
+                        }
+                        if !port_names.insert(port.text.clone()) {
+                            return Err(err(
+                                port,
+                                card,
+                                ParseErrorKind::DuplicateNode { name: port.text.clone() },
+                            ));
+                        }
+                    }
+                    let mut params = Vec::new();
+                    for (name, value) in defaults {
+                        match value {
+                            Value::Literal(v) => params.push((name.text.clone(), v)),
+                            // Defaults must be literals — there is no outer
+                            // environment to resolve a `{param}` against.
+                            Value::Param(tok) => {
+                                return Err(err(
+                                    &tok,
+                                    card,
+                                    ParseErrorKind::BadParameter { token: tok.text.clone() },
+                                ));
+                            }
+                        }
+                    }
+                    open = Some(OpenSubckt {
+                        subckt: Subckt {
+                            name: name_tok.text.clone(),
+                            ports: ports.into_iter().map(|t| t.text).collect(),
+                            params,
+                            declared_nodes: Vec::new(),
+                            cards: Vec::new(),
+                        },
+                        header: name_tok.clone(),
+                        header_text: card.text.clone(),
+                        names: HashSet::new(),
+                        declared: HashSet::new(),
+                    });
+                }
+                ".ends" => {
+                    let Some(state) = open.take() else {
+                        return Err(err(leader, card, ParseErrorKind::EndsWithoutSubckt));
+                    };
+                    if let Some(name_tok) = card.tokens.get(1) {
+                        if name_tok.text != state.subckt.name {
+                            return Err(err(
+                                name_tok,
+                                card,
+                                ParseErrorKind::MismatchedEnds {
+                                    expected: state.subckt.name.clone(),
+                                    found: name_tok.text.clone(),
+                                },
+                            ));
+                        }
+                        no_extra(card, 2)?;
+                    }
+                    deck.subckts.insert(state.subckt.name.clone(), state.subckt);
+                }
+                ".nodes" => match &mut open {
+                    Some(state) => parse_nodes_directive(
+                        card,
+                        &mut state.subckt.declared_nodes,
+                        &mut state.declared,
+                    )?,
+                    None => {
+                        parse_nodes_directive(card, &mut deck.declared_nodes, &mut top_declared)?
+                    }
+                },
+                ".end" => {
+                    if let Some(state) = &open {
+                        return Err(err(
+                            leader,
+                            card,
+                            ParseErrorKind::UnclosedSubckt { name: state.subckt.name.clone() },
+                        ));
+                    }
+                    no_extra(card, 1)?;
+                    end_seen = true;
+                }
+                other => {
+                    return Err(err(
+                        leader,
+                        card,
+                        ParseErrorKind::UnknownDirective { name: other.to_owned() },
+                    ));
+                }
+            }
+            continue;
+        }
+        match &mut open {
+            Some(state) => {
+                let parsed = parse_element_card(card, &mut state.names)?;
+                state.subckt.cards.push(parsed);
+            }
+            None => {
+                let parsed = parse_element_card(card, &mut top_names)?;
+                deck.cards.push(parsed);
+            }
+        }
+    }
+    if let Some(state) = open {
+        return Err(ParseError::at_line(
+            state.header.line,
+            state.header.column,
+            &state.header_text,
+            ParseErrorKind::UnclosedSubckt { name: state.subckt.name },
+        ));
+    }
+    Ok(deck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spice_numbers() {
+        let cases = [
+            ("0", 0.0),
+            ("42", 42.0),
+            ("-3.5", -3.5),
+            ("+2", 2.0),
+            (".5", 0.5),
+            ("1.", 1.0),
+            ("2e3", 2000.0),
+            ("2E-3", 0.002),
+            ("1k", 1e3),
+            ("1K", 1e3),
+            ("10f", 10e-15),
+            ("1p", 1e-12),
+            ("2.5n", 2.5e-9),
+            ("3u", 3e-6),
+            ("4m", 4e-3),
+            ("5meg", 5e6),
+            ("5MEG", 5e6),
+            ("6g", 6e9),
+            ("7t", 7e12),
+            ("1pF", 1e-12),
+            ("2nH", 2e-9),
+            ("5ohm", 5.0),
+            ("1e", 1.0),
+            ("3v", 3.0),
+            ("1e-3k", 1.0),
+        ];
+        for (text, expected) in cases {
+            let got = parse_spice_number(text).unwrap_or_else(|| panic!("{text} should parse"));
+            assert!(
+                (got - expected).abs() <= expected.abs() * 1e-15,
+                "{text}: got {got}, expected {expected}"
+            );
+        }
+        for text in ["", "x", "--1", "1..5", "1.2.3", "0x10", "1e+", "3 4", "{r}", "-"] {
+            assert!(parse_spice_number(text).is_none(), "{text:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parses_element_cards() {
+        let deck = parse_deck(
+            "V1 in 0 STEP(1 0)\nRd in a 50\nL1 a b 1n\nL2 c 0 1n\nK1 L1 L2 0.3\nC1 b 0 1pF\nI1 0 b DC 1m\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(deck.cards.len(), 7);
+        assert!(matches!(deck.cards[0].kind, CardKind::Voltage { .. }));
+        assert!(matches!(
+            &deck.cards[4].kind,
+            CardKind::Mutual { first, second, value: Value::Literal(v) }
+                if first.text == "L1" && second.text == "L2" && *v == 0.3
+        ));
+        assert!(matches!(
+            &deck.cards[6].kind,
+            CardKind::Current { waveform: WaveformAst::Dc(Value::Literal(v)), .. }
+                if *v == 1e-3
+        ));
+    }
+
+    #[test]
+    fn parses_subckt_with_params_and_instances() {
+        let deck = parse_deck(
+            ".subckt cell w b r=100 c=1p\nRa w s {r}\nCc s b {c}\n.ends cell\nX1 n1 n2 cell\nX2 n1 n3 cell r=200\n",
+        )
+        .unwrap();
+        let cell = deck.subckts.get("cell").unwrap();
+        assert_eq!(cell.ports, vec!["w", "b"]);
+        assert_eq!(cell.params, vec![("r".to_owned(), 100.0), ("c".to_owned(), 1e-12)]);
+        assert_eq!(cell.cards.len(), 2);
+        assert!(matches!(
+            &deck.cards[1].kind,
+            CardKind::Instance { nodes, subckt, overrides }
+                if nodes.len() == 2 && subckt.text == "cell" && overrides.len() == 1
+        ));
+    }
+
+    #[test]
+    fn waveform_forms() {
+        let deck = parse_deck(
+            "V1 a 0 2.5\nV2 a 0 DC -1\nV3 b 0 RAMP(1 0 10p)\nV4 c 0 PULSE(1 0 10p 2n)\nV5 d 0 PWL(0 0 1n 1 2n 0.5)\n",
+        )
+        .unwrap();
+        let wf = |i: usize| match &deck.cards[i].kind {
+            CardKind::Voltage { waveform, .. } => waveform.clone(),
+            _ => unreachable!(),
+        };
+        assert!(matches!(wf(0), WaveformAst::Dc(Value::Literal(v)) if v == 2.5));
+        assert!(matches!(wf(1), WaveformAst::Dc(Value::Literal(v)) if v == -1.0));
+        assert!(matches!(wf(2), WaveformAst::Ramp(..)));
+        assert!(matches!(wf(3), WaveformAst::Pulse(..)));
+        assert!(matches!(wf(4), WaveformAst::Pwl(points) if points.len() == 3));
+    }
+
+    #[test]
+    fn error_positions_point_at_the_offending_token() {
+        let err = parse_deck("R1 in out 50\nC1 out 0 abc\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 10);
+        assert!(matches!(err.kind(), ParseErrorKind::BadNumber { token } if token == "abc"));
+
+        let err = parse_deck("R1 in out\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(
+            matches!(err.kind(), ParseErrorKind::MissingToken { expected } if expected == &"a value")
+        );
+
+        let err = parse_deck("R1 in out 50 60\n").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::ExtraToken { token } if token == "60"));
+
+        let err = parse_deck("Q1 a b c\n").unwrap_err();
+        assert!(matches!(err.kind(), ParseErrorKind::UnknownCard { leader } if leader == "Q1"));
+
+        let err = parse_deck("R1 a 0 1\nR1 b 0 2\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(matches!(err.kind(), ParseErrorKind::DuplicateElement { name } if name == "R1"));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(
+            parse_deck("* only a comment\n").unwrap_err().kind(),
+            ParseErrorKind::EmptyDeck
+        ));
+        assert!(matches!(
+            parse_deck(".subckt cell a\nR1 a 0 1\n").unwrap_err().kind(),
+            ParseErrorKind::UnclosedSubckt { name } if name == "cell"
+        ));
+        assert!(matches!(
+            parse_deck("R1 a 0 1\n.ends\n").unwrap_err().kind(),
+            ParseErrorKind::EndsWithoutSubckt
+        ));
+        assert!(matches!(
+            parse_deck(".subckt a p\n.subckt b q\n.ends\n.ends\n").unwrap_err().kind(),
+            ParseErrorKind::NestedSubckt
+        ));
+        assert!(matches!(
+            parse_deck(".subckt cell a\nR1 a 0 1\n.ends other\nR2 b 0 1\n").unwrap_err().kind(),
+            ParseErrorKind::MismatchedEnds { expected, found }
+                if expected == "cell" && found == "other"
+        ));
+        assert!(matches!(
+            parse_deck("R1 a 0 1\n.end\nR2 b 0 1\n").unwrap_err().kind(),
+            ParseErrorKind::CardAfterEnd
+        ));
+        assert!(matches!(
+            parse_deck("R1 a 0 1\n.options reltol=1e-4\n").unwrap_err().kind(),
+            ParseErrorKind::UnknownDirective { name } if name == ".options"
+        ));
+        assert!(matches!(
+            parse_deck(".nodes a gnd\nR1 a 0 1\n").unwrap_err().kind(),
+            ParseErrorKind::NodesListsGround
+        ));
+        assert!(matches!(
+            parse_deck(".nodes a a\nR1 a 0 1\n").unwrap_err().kind(),
+            ParseErrorKind::DuplicateNode { name } if name == "a"
+        ));
+    }
+
+    #[test]
+    fn instance_tail_errors() {
+        assert!(matches!(
+            parse_deck("X1 a b cell w=\n").unwrap_err().kind(),
+            ParseErrorKind::MissingToken { expected } if expected == &"a parameter value"
+        ));
+        assert!(matches!(
+            parse_deck("X1 a b cell w=1 c\n").unwrap_err().kind(),
+            ParseErrorKind::BadParameter { token } if token == "c"
+        ));
+        assert!(matches!(
+            parse_deck("X1 = b cell\n").unwrap_err().kind(),
+            ParseErrorKind::BadParameter { token } if token == "="
+        ));
+        assert!(matches!(
+            parse_deck("X1 a b cell w=1 w=2\n").unwrap_err().kind(),
+            ParseErrorKind::BadParameter { token } if token == "w"
+        ));
+        assert!(matches!(
+            parse_deck("X1\n").unwrap_err().kind(),
+            ParseErrorKind::MissingToken { expected } if expected == &"a subcircuit name"
+        ));
+        assert!(matches!(
+            parse_deck(".subckt cell a a\n.ends\n").unwrap_err().kind(),
+            ParseErrorKind::DuplicateNode { name } if name == "a"
+        ));
+        assert!(matches!(
+            parse_deck(".subckt cell p r={x}\n.ends\n").unwrap_err().kind(),
+            ParseErrorKind::BadParameter { token } if token == "{x}"
+        ));
+    }
+
+    #[test]
+    fn source_waveform_errors() {
+        assert!(matches!(
+            parse_deck("V1 a 0 SIN(0 1 1g)\n").unwrap_err().kind(),
+            ParseErrorKind::UnknownWaveform { token } if token == "SIN"
+        ));
+        assert!(matches!(
+            parse_deck("V1 a 0 PWL(0 0 1n)\n").unwrap_err().kind(),
+            ParseErrorKind::MissingToken { expected }
+                if expected == &"a PWL value to pair with the last time"
+        ));
+        assert!(matches!(
+            parse_deck("V1 a 0 PWL\n").unwrap_err().kind(),
+            ParseErrorKind::MissingToken { expected } if expected == &"a PWL corner time"
+        ));
+        assert!(matches!(
+            parse_deck("V1 a 0 STEP(1)\n").unwrap_err().kind(),
+            ParseErrorKind::MissingToken { expected } if expected == &"a step delay"
+        ));
+    }
+}

@@ -20,6 +20,7 @@ use rlckit_coupling::crosstalk::crosstalk_metrics;
 use rlckit_coupling::netlist::BusDrive;
 use rlckit_coupling::repeater::evaluate_bus_repeaters;
 use rlckit_interconnect::{DistributedLine, MeshGeometry, RoutingTree, Technology};
+use rlckit_netlist::{measure_sram_read, SramArraySpec};
 use rlckit_reduce::reduce_ladder;
 use rlckit_repeater::comparison;
 use rlckit_repeater::tree::evaluate_tree_repeaters;
@@ -535,6 +536,24 @@ mod tests {
         let s = Scenario { driver_size: 0.0, ..Scenario::default() };
         assert!(DelayModelEvaluator.evaluate(&s).is_err());
     }
+
+    #[test]
+    fn sram_read_rows_match_their_columns_and_grow_with_the_array() {
+        let eval = SramReadEvaluator;
+        let small = eval.evaluate(&Scenario { sram_rows: 2, sram_cols: 2, ..Scenario::default() });
+        let small = small.unwrap();
+        assert_eq!(small.len(), eval.columns().len());
+        assert!(small[0] > 0.0 && small[1] > 0.0, "delay and rise time positive");
+        assert_eq!(small[2], 15.0, "3·rows·cols + 3 unknowns");
+        assert_eq!(small[3], 4.0);
+        let wide =
+            eval.evaluate(&Scenario { sram_rows: 4, sram_cols: 4, ..Scenario::default() }).unwrap();
+        assert_eq!(wide[2], 51.0);
+        assert!(wide[0] > small[0], "a longer wordline/bitline path reads slower");
+        // Degenerate arrays surface as evaluation errors, not panics.
+        let bad = eval.evaluate(&Scenario { sram_rows: 0, sram_cols: 4, ..Scenario::default() });
+        assert!(matches!(bad, Err(SweepError::Evaluation { .. })));
+    }
 }
 
 /// The branching-tree workload (`rlckit-interconnect` → `rlckit-circuit` →
@@ -623,6 +642,36 @@ impl Evaluator for MeshDelayEvaluator {
             report.overshoot_percent,
             spec.unknown_count() as f64,
             mesh.total_wire_length().millimeters(),
+        ])
+    }
+}
+
+/// The netlist-frontend workload (`rlckit-netlist` → `rlckit-circuit`): a
+/// `sram_rows × sram_cols` SRAM bitline/wordline array emitted as a SPICE
+/// deck, lowered back through the parser, and simulated for the far-corner
+/// read delay. Unlike every other evaluator this one reaches the MNA stamps
+/// through deck text, so sweeping it continuously exercises the
+/// parse → lower → simulate path end to end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SramReadEvaluator;
+
+impl Evaluator for SramReadEvaluator {
+    fn name(&self) -> &'static str {
+        "sram_read"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &["read_delay_ps", "rise_time_ps", "unknowns", "cells"]
+    }
+
+    fn evaluate(&self, s: &Scenario) -> Result<Vec<f64>, SweepError> {
+        let spec = SramArraySpec::new(s.sram_rows, s.sram_cols);
+        let report = measure_sram_read(&spec, SolverBackend::Auto)?;
+        Ok(vec![
+            report.delay_50.picoseconds(),
+            report.rise_time.picoseconds(),
+            report.unknowns as f64,
+            (s.sram_rows * s.sram_cols) as f64,
         ])
     }
 }

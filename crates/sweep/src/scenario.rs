@@ -97,6 +97,11 @@ pub struct Scenario {
     pub mesh_rows: usize,
     /// Junction columns of the power/clock mesh used by the mesh evaluators.
     pub mesh_cols: usize,
+    /// Wordline rows of the SRAM bitline/wordline array used by the SRAM
+    /// read evaluator (the deck-lowered netlist workload).
+    pub sram_rows: usize,
+    /// Bitline columns of the SRAM bitline/wordline array.
+    pub sram_cols: usize,
 }
 
 impl Default for Scenario {
@@ -121,6 +126,8 @@ impl Default for Scenario {
             tree_fanout: 2,
             mesh_rows: 8,
             mesh_cols: 8,
+            sram_rows: 8,
+            sram_cols: 8,
         }
     }
 }
@@ -146,6 +153,8 @@ impl Scenario {
             Param::TreeFanout(v) => self.tree_fanout = v,
             Param::MeshRows(v) => self.mesh_rows = v,
             Param::MeshCols(v) => self.mesh_cols = v,
+            Param::SramRows(v) => self.sram_rows = v,
+            Param::SramCols(v) => self.sram_cols = v,
         }
     }
 
@@ -168,6 +177,8 @@ impl Scenario {
         h.write_u64(self.tree_fanout as u64);
         h.write_u64(self.mesh_rows as u64);
         h.write_u64(self.mesh_cols as u64);
+        h.write_u64(self.sram_rows as u64);
+        h.write_u64(self.sram_cols as u64);
     }
 }
 
@@ -208,6 +219,10 @@ pub enum Param {
     MeshRows(usize),
     /// Junction columns of the power/clock mesh for the mesh evaluators.
     MeshCols(usize),
+    /// Wordline rows of the SRAM array for the SRAM read evaluator.
+    SramRows(usize),
+    /// Bitline columns of the SRAM array for the SRAM read evaluator.
+    SramCols(usize),
 }
 
 impl Param {
@@ -230,7 +245,9 @@ impl Param {
             | Self::TreeLevels(v)
             | Self::TreeFanout(v)
             | Self::MeshRows(v)
-            | Self::MeshCols(v) => {
+            | Self::MeshCols(v)
+            | Self::SramRows(v)
+            | Self::SramCols(v) => {
                 format!("{v}")
             }
             Self::Shielded(v) => format!("{v}"),
@@ -315,6 +332,8 @@ mod tests {
             Param::TreeFanout(3),
             Param::MeshRows(12),
             Param::MeshCols(16),
+            Param::SramRows(32),
+            Param::SramCols(16),
         ] {
             s.apply(&p);
         }
@@ -335,6 +354,8 @@ mod tests {
         assert_eq!(s.tree_fanout, 3);
         assert_eq!(s.mesh_rows, 12);
         assert_eq!(s.mesh_cols, 16);
+        assert_eq!(s.sram_rows, 32);
+        assert_eq!(s.sram_cols, 16);
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub use rlckit_circuit as circuit;
 pub use rlckit_core as model;
 pub use rlckit_coupling as coupling;
 pub use rlckit_interconnect as interconnect;
+pub use rlckit_netlist as netlist;
 pub use rlckit_numeric as numeric;
 pub use rlckit_reduce as reduce;
 pub use rlckit_repeater as repeater;
@@ -30,6 +31,9 @@ pub mod prelude {
     pub use rlckit_interconnect::technology::Technology;
     pub use rlckit_interconnect::twoport::DrivenLine;
     pub use rlckit_interconnect::{DistributedLine, RoutingTree};
+    pub use rlckit_netlist::{
+        circuit_to_deck, measure_sram_read, parse_circuit, ParseError, SramArraySpec,
+    };
     pub use rlckit_reduce::{
         prima, reduce_bus, reduce_ladder, PoleResidueModel, ReducedBus, ReducedLadder,
         ReductionOptions, StepMetrics,
@@ -41,7 +45,7 @@ pub mod prelude {
     pub use rlckit_sweep::eval::{
         BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
         ReducedDelayEvaluator, RepeaterDesignPointEvaluator, RepeaterOptimumEvaluator,
-        TreeDelayEvaluator,
+        SramReadEvaluator, TreeDelayEvaluator,
     };
     pub use rlckit_sweep::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
     pub use rlckit_sweep::scenario::{Param, Scenario, TechnologyNode};

@@ -1,0 +1,67 @@
+//! Golden-deck corpus tests: the committed `tests/decks/` corpus is a
+//! contract. Well-formed decks must parse and lower to non-empty circuits;
+//! every `bad_*.cir` deck carries a committed `.expected` diagnostic that the
+//! parser must reproduce *byte for byte* — any drift in messages, positions
+//! or hints fails here (and in CI's `corpus_check` gate) until deliberately
+//! re-blessed with `cargo run -p rlckit-netlist --bin corpus_check -- --bless`.
+
+use std::path::PathBuf;
+
+use rlckit::netlist::{parse_circuit, ParseError};
+
+fn corpus() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("decks");
+    let mut decks: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("the corpus directory is committed")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "cir"))
+        .collect();
+    decks.sort();
+    decks
+}
+
+#[test]
+fn corpus_is_large_enough_to_mean_something() {
+    let decks = corpus();
+    let malformed = decks.iter().filter(|p| p.with_extension("expected").exists()).count();
+    assert!(decks.len() >= 25, "corpus shrank to {} decks", decks.len());
+    assert!(malformed >= 8, "corpus shrank to {malformed} malformed decks");
+}
+
+#[test]
+fn well_formed_decks_parse_to_non_empty_circuits() {
+    for deck in corpus() {
+        if deck.with_extension("expected").exists() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&deck).expect("deck readable");
+        let parsed =
+            parse_circuit(&text).unwrap_or_else(|e| panic!("{} must parse:\n{e}", deck.display()));
+        assert!(!parsed.circuit.is_empty(), "{} lowered to an empty circuit", deck.display());
+    }
+}
+
+#[test]
+fn malformed_decks_reproduce_their_blessed_diagnostics_exactly() {
+    for deck in corpus() {
+        let expected_path = deck.with_extension("expected");
+        if !expected_path.exists() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&deck).expect("deck readable");
+        let err: ParseError = parse_circuit(&text)
+            .map(|_| panic!("{} must fail to parse", deck.display()))
+            .unwrap_err();
+        let want = std::fs::read_to_string(&expected_path).expect("expected file readable");
+        let got = format!("{err}\n");
+        assert_eq!(got, want, "{}: diagnostic drifted from its blessed form", deck.display());
+        // The structured accessors agree with the rendered position.
+        assert!(err.line() >= 1 && err.column() >= 1);
+        assert!(
+            want.contains(&format!("error at line {}, column {}:", err.line(), err.column())),
+            "{}: display and accessors disagree",
+            deck.display()
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based netlist frontend tests.
+//!
+//! * **Round-trip exactness** — for randomly composed circuits (all six
+//!   element kinds, all five waveform shapes, unused nodes, wild value
+//!   magnitudes), `Circuit → deck → Circuit` must reproduce the original
+//!   *exactly*: equal circuits, equal MNA dimensions and bit-identical
+//!   assembled sparse triplets. The writer must also be a fixed point
+//!   (writing the reparsed circuit yields the same text).
+//! * **Robustness** — random character-level mutations of valid decks
+//!   (replacements, insertions, deletions, truncations, line duplications)
+//!   must never panic the parser: every outcome is either a lowered circuit
+//!   or a [`ParseError`] whose position points inside the mutated text.
+
+use proptest::prelude::*;
+
+use rlckit::circuit::mna::MnaSystem;
+use rlckit::circuit::{Circuit, InductorId, SourceWaveform};
+use rlckit::netlist::{circuit_to_deck, parse_circuit};
+use rlckit::units::{Capacitance, Inductance, Resistance, Time, Voltage};
+
+/// Non-ground nodes every random circuit starts with; descriptors may leave
+/// some untouched, which exercises the writer's `.nodes` directive.
+const POOL: usize = 5;
+
+/// One element descriptor drawn by proptest: `(kind, plus, minus, value)`
+/// selectors, each in `[0, 1)`.
+type Descriptor = (f64, f64, f64, f64);
+
+fn waveform(shape: usize, v: f64, t: f64) -> SourceWaveform {
+    let level = Voltage::from_volts(v * 5.0 - 1.0);
+    let delay = Time::from_seconds(1e-12 * (1.0 + t * 20.0));
+    let width = Time::from_seconds(1e-12 * (2.0 + v * 50.0));
+    match shape % 5 {
+        0 => SourceWaveform::Dc { level },
+        1 => SourceWaveform::Step { amplitude: level, delay },
+        2 => SourceWaveform::Ramp { amplitude: level, delay, rise_time: width },
+        3 => SourceWaveform::Pulse { amplitude: level, delay, edge_time: width, width },
+        _ => SourceWaveform::PieceWiseLinear {
+            points: vec![(delay, Voltage::ZERO), (delay + width, level)],
+        },
+    }
+}
+
+fn build_random(descriptors: &[Descriptor]) -> Circuit {
+    let mut c = Circuit::new();
+    let nodes: Vec<_> = (0..POOL).map(|_| c.add_node()).collect();
+    let gnd = c.ground();
+    let mut inductors: Vec<InductorId> = Vec::new();
+    for &(kind, a, b, v) in descriptors {
+        let plus = nodes[((a * POOL as f64) as usize).min(POOL - 1)];
+        let pick = ((b * (POOL + 1) as f64) as usize).min(POOL);
+        let minus = if pick < POOL { nodes[pick] } else { gnd };
+        let minus = if minus == plus { gnd } else { minus };
+        // Magnitudes span sixteen decades so the writer's shortest-f64
+        // formatting sees both subnormal-ish and huge values.
+        let mag = 10f64.powf(-13.0 + 16.0 * v);
+        match (kind * 6.0) as usize % 6 {
+            0 => {
+                c.add_resistor(plus, minus, Resistance::from_ohms(mag * 1e3)).unwrap();
+            }
+            1 => {
+                c.add_capacitor(plus, minus, Capacitance::from_farads(mag * 1e-3)).unwrap();
+            }
+            2 => {
+                inductors.push(c.add_inductor(plus, minus, Inductance::from_henries(mag)).unwrap());
+            }
+            3 => {
+                // A K card needs two distinct inductors in the circuit.
+                if inductors.len() < 2 {
+                    inductors
+                        .push(c.add_inductor(plus, minus, Inductance::from_henries(mag)).unwrap());
+                } else {
+                    let i = ((a * inductors.len() as f64) as usize).min(inductors.len() - 1);
+                    let j = ((b * inductors.len() as f64) as usize).min(inductors.len() - 1);
+                    let j = if i == j { (j + 1) % inductors.len() } else { j };
+                    let coupling = (2.0 * v - 1.0) * 0.95;
+                    // Repeated K descriptors on one pair can push the
+                    // cumulative coupling past ±1; rejected adds leave the
+                    // circuit untouched, so just skip those draws.
+                    let _ = c.add_mutual_inductor(inductors[i], inductors[j], coupling);
+                }
+            }
+            4 => {
+                let shape = (a * 5.0) as usize;
+                c.add_voltage_source(plus, minus, waveform(shape, v, b)).unwrap();
+            }
+            _ => {
+                let shape = (b * 5.0) as usize;
+                c.add_current_source(plus, minus, waveform(shape, v, a)).unwrap();
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn random_circuits_round_trip_exactly(
+        descriptors in proptest::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 14),
+    ) {
+        let original = build_random(&descriptors);
+        let deck = circuit_to_deck(&original);
+        let reparsed = parse_circuit(&deck)
+            .unwrap_or_else(|e| panic!("writer output must parse:\n{e}\ndeck:\n{deck}"));
+        prop_assert_eq!(&reparsed.circuit, &original, "circuits differ after a round trip");
+        // The writer is a fixed point on its own output.
+        prop_assert_eq!(circuit_to_deck(&reparsed.circuit), deck);
+
+        // The assembled MNA triplets — pattern and values — are bit-identical.
+        let mna_a = MnaSystem::build(&original).expect("original assembles");
+        let mna_b = MnaSystem::build(&reparsed.circuit).expect("reparsed assembles");
+        prop_assert_eq!(mna_a.dim(), mna_b.dim());
+        let a = mna_a.assemble_csc_real(1.0, 1e10);
+        let b = mna_b.assemble_csc_real(1.0, 1e10);
+        prop_assert_eq!(a.nnz(), b.nnz());
+        let ta: Vec<(usize, usize, f64)> = a.triplets().collect();
+        let tb: Vec<(usize, usize, f64)> = b.triplets().collect();
+        for (x, y) in ta.iter().zip(tb.iter()) {
+            prop_assert!(x.0 == y.0 && x.1 == y.1, "sparsity patterns differ: {x:?} vs {y:?}");
+            prop_assert!(x.2.to_bits() == y.2.to_bits(), "stamped values differ: {x:?} vs {y:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: no input — valid, corrupted or pathological — may panic the
+// parser.
+// ---------------------------------------------------------------------------
+
+/// Valid seed decks covering the grammar's surface: hierarchy with
+/// parameters, mutual inductance, every waveform, directives.
+const SEEDS: [&str; 3] = [
+    "* hierarchy and parameters\n\
+     .subckt seg a b r=100 c=50f\n\
+     Rs a b {r}\n\
+     Cs b 0 {c}\n\
+     .ends seg\n\
+     V1 in 0 STEP(1 0)\n\
+     X1 in mid seg\n\
+     X2 mid out seg r=220 c=0.1p\n\
+     .end\n",
+    "* coupling and waveforms\n\
+     .nodes a b cc\n\
+     V1 a 0 PULSE(1 0 10p 2n)\n\
+     I1 0 cc PWL(0 0 5p 1 20p 0.5)\n\
+     R1 a b 50\n\
+     L1 b 0 1n\n\
+     L2 cc 0 1n\n\
+     K1 L1 L2 -0.4\n\
+     C1 b cc 10f\n\
+     .end\n",
+    "* continuations, comments, suffixes\n\
+     V1 in 0\n\
+     + RAMP(1.8 0\n\
+     + 20p) ; slew-limited\n\
+     R1 in out 2meg\n\
+     C1 out 0 1.5pF\n\
+     .end\n",
+];
+
+/// Characters the mutator splices in — separators, structure characters,
+/// digits, multi-byte text — everything likely to confuse a lexer.
+const PALETTE: [char; 18] =
+    ['\0', '\n', '+', '.', '(', ')', '=', '*', ';', '{', '}', 'k', 'x', '9', '-', ' ', '\t', 'µ'];
+
+fn mutate(text: &str, ops: &[(f64, f64, f64)]) -> String {
+    let mut chars: Vec<char> = text.chars().collect();
+    for &(op, pos, ch) in ops {
+        if chars.is_empty() {
+            break;
+        }
+        let at = ((pos * chars.len() as f64) as usize).min(chars.len() - 1);
+        let c = PALETTE[((ch * PALETTE.len() as f64) as usize).min(PALETTE.len() - 1)];
+        match (op * 5.0) as usize % 5 {
+            0 => chars[at] = c,
+            1 => chars.insert(at, c),
+            2 => {
+                chars.remove(at);
+            }
+            3 => chars.truncate(at),
+            4 => {
+                // Duplicate the line containing `at` (stresses duplicate-name
+                // and double-directive paths).
+                let start = chars[..at].iter().rposition(|&c| c == '\n').map_or(0, |i| i + 1);
+                let end =
+                    chars[at..].iter().position(|&c| c == '\n').map_or(chars.len(), |i| at + i);
+                let line: Vec<char> = chars[start..end].to_vec();
+                let mut dup = vec!['\n'];
+                dup.extend(line);
+                chars.splice(end..end, dup);
+            }
+            _ => unreachable!(),
+        }
+    }
+    chars.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mutated_decks_never_panic_and_errors_point_into_the_text(
+        seed in 0.0f64..1.0,
+        ops in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 6),
+    ) {
+        let base = SEEDS[((seed * SEEDS.len() as f64) as usize).min(SEEDS.len() - 1)];
+        let mutated = mutate(base, &ops);
+        match parse_circuit(&mutated) {
+            Ok(parsed) => prop_assert!(parsed.circuit.node_count() >= 1),
+            Err(e) => {
+                let lines = mutated.lines().count().max(1);
+                prop_assert!(e.line() >= 1, "error line must be 1-based");
+                prop_assert!(
+                    e.line() <= lines + 1,
+                    "error line {} beyond the {lines}-line deck:\n{mutated:?}",
+                    e.line()
+                );
+                prop_assert!(e.column() >= 1, "error column must be 1-based");
+                // The rendered diagnostic never truncates mid-escape and
+                // always carries the position header.
+                let rendered = format!("{e}");
+                prop_assert!(rendered.starts_with(&format!(
+                    "error at line {}, column {}:", e.line(), e.column()
+                )));
+            }
+        }
+    }
+}
