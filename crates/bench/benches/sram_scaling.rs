@@ -19,7 +19,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use rlckit_bench::report::{smoke_or, write_trajectory_or_exit, PerfReport};
+use rlckit_bench::report::{
+    smoke_or, write_profile_if_enabled, write_trajectory_or_exit, PerfReport,
+};
 use rlckit_circuit::SolverBackend;
 use rlckit_netlist::{measure_sram_read, parse_circuit, SramArraySpec};
 
@@ -74,6 +76,10 @@ fn write_perf_trajectory() {
 fn bench_with_trajectory(c: &mut Criterion) {
     bench_sram_scaling(c);
     write_perf_trajectory();
+    // Under RLCKIT_PROFILE=1 this lands PROFILE_sram.json, which CI audits
+    // for the frontend spans (netlist.parse / netlist.lower) and the
+    // numerical-health rollup of the deck-lowered transient reads.
+    write_profile_if_enabled("sram");
 }
 
 criterion_group!(benches, bench_with_trajectory);

@@ -74,12 +74,16 @@ fn main() -> ExitCode {
     let violations = audit_profile(&profile, &spans, &counters);
     if violations.is_empty() {
         println!(
-            "profile gate: OK ({}: {} span(s), {} counter(s), {} gauge(s), {} histogram(s))",
+            "profile gate: OK ({}: {} span(s), {} counter(s), {} gauge(s), {} histogram(s), \
+             health {} info / {} warning / {} error)",
             file.display(),
             profile.spans.len(),
             profile.counters.len(),
             profile.gauges.len(),
-            profile.histograms.len()
+            profile.histograms.len(),
+            profile.health.info,
+            profile.health.warning,
+            profile.health.error
         );
         ExitCode::SUCCESS
     } else {

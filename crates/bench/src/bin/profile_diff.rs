@@ -1,0 +1,84 @@
+//! The profile-diff regression gate: compare a fresh `PROFILE_*.json`
+//! snapshot against a committed baseline.
+//!
+//! ```text
+//! profile-diff <baseline.json> <fresh.json> [--tolerance <ratio>]
+//! ```
+//!
+//! Exits non-zero when either file fails the telemetry profile schema, when
+//! a span path or counter appears on only one side (instrumentation drift
+//! needs a recommitted baseline; vanished spans are coverage rot), when a
+//! span's self time moves by more than the ratio tolerance (default
+//! `rlckit_bench::check::DEFAULT_PROFILE_TOLERANCE`, generous enough for
+//! cross-machine noise but far inside an accidental `O(n²)`), or when the
+//! fresh run recorded any error-severity numerical-health event. CI runs the
+//! profiled smoke bench and points this binary at the committed
+//! `PROFILE_baseline_tree.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rlckit_bench::check::{
+    compare_profiles, parse_profile, render_violations, ParsedProfile, DEFAULT_PROFILE_TOLERANCE,
+};
+
+fn main() -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut tolerance = DEFAULT_PROFILE_TOLERANCE;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let value = args.next().and_then(|v| v.parse::<f64>().ok());
+                match value {
+                    Some(v) if v > 1.0 && v.is_finite() => tolerance = v,
+                    _ => {
+                        eprintln!("--tolerance requires a finite ratio > 1");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if !other.starts_with('-') && files.len() < 2 => {
+                files.push(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: profile-diff <baseline.json> <fresh.json> [--tolerance <ratio>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        eprintln!("usage: profile-diff <baseline.json> <fresh.json> [--tolerance <ratio>]");
+        return ExitCode::from(2);
+    };
+
+    let read_parse = |path: &PathBuf| -> Result<ParsedProfile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse_profile(&text).map_err(|e| format!("{} does not parse: {e}", path.display()))
+    };
+    let (baseline, fresh) = match (read_parse(baseline_path), read_parse(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("profile diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let violations = compare_profiles(&baseline, &fresh, tolerance);
+    if violations.is_empty() {
+        println!(
+            "profile diff: OK ({} vs {}: {} span(s), {} counter(s), tolerance {tolerance}x)",
+            baseline_path.display(),
+            fresh_path.display(),
+            fresh.spans.len(),
+            fresh.counters.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprint!("{}", render_violations(&violations));
+        ExitCode::FAILURE
+    }
+}

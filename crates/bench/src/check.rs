@@ -268,9 +268,39 @@ pub struct ParsedSpan {
     pub self_s: Option<f64>,
 }
 
+/// One `(site, metric)` row of a profile's health section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedHealthSite {
+    /// Instrumentation site (`"sparse.solve"`).
+    pub site: String,
+    /// Metric name (`"backward_error"`).
+    pub metric: String,
+    /// Highest severity observed (`"info"`, `"warning"` or `"error"`).
+    pub severity: String,
+    /// Total events recorded at this site.
+    pub count: f64,
+    /// Worst value observed; `None` for JSON `null` (non-finite).
+    pub worst: Option<f64>,
+    /// Threshold the worst observation was classified against.
+    pub threshold: Option<f64>,
+}
+
+/// The health section of a parsed `PROFILE_*.json` document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedHealth {
+    /// Total info-severity events.
+    pub info: f64,
+    /// Total warning-severity events.
+    pub warning: f64,
+    /// Total error-severity events.
+    pub error: f64,
+    /// The per-`(site, metric)` rows, in file order.
+    pub sites: Vec<ParsedHealthSite>,
+}
+
 /// A parsed `PROFILE_*.json` document (spans plus the name sets of the
 /// counter/gauge/histogram sections — the audit only needs names and span
-/// timings).
+/// timings — plus the numerical-health aggregates).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedProfile {
     /// The profile name from the `"profile"` field.
@@ -283,6 +313,8 @@ pub struct ParsedProfile {
     pub gauges: Vec<String>,
     /// Histogram names, in file order.
     pub histograms: Vec<String>,
+    /// The numerical-health section.
+    pub health: ParsedHealth,
 }
 
 impl ParsedProfile {
@@ -311,9 +343,10 @@ pub fn parse_profile(text: &str) -> Result<ParsedProfile, String> {
         return Err("top level must be a JSON object".to_owned());
     };
     let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
-    if keys != ["profile", "spans", "counters", "gauges", "histograms"] {
+    if keys != ["profile", "spans", "counters", "gauges", "histograms", "health"] {
         return Err(format!(
-            "top-level keys must be [profile, spans, counters, gauges, histograms], got {keys:?}"
+            "top-level keys must be [profile, spans, counters, gauges, histograms, health], \
+             got {keys:?}"
         ));
     }
     let Json::String(profile) = &fields[0].1 else {
@@ -399,7 +432,42 @@ pub fn parse_profile(text: &str) -> Result<ParsedProfile, String> {
         }
         histograms.push(name);
     }
-    Ok(ParsedProfile { profile: profile.clone(), spans, counters, gauges, histograms })
+
+    let Json::Object(health_fields) = &fields[5].1 else {
+        return Err("\"health\" must be an object".to_owned());
+    };
+    let health_keys: Vec<&str> = health_fields.iter().map(|(k, _)| k.as_str()).collect();
+    if health_keys != ["info", "warning", "error", "sites"] {
+        return Err(format!(
+            "health keys must be [info, warning, error, sites], got {health_keys:?}"
+        ));
+    }
+    let mut health = ParsedHealth {
+        info: number_of(&health_fields[0].1, "health info count")?,
+        warning: number_of(&health_fields[1].1, "health warning count")?,
+        error: number_of(&health_fields[2].1, "health error count")?,
+        sites: Vec::new(),
+    };
+    for entry in named_items(
+        &health_fields[3].1,
+        "health sites",
+        &["site", "metric", "severity", "count", "worst", "threshold"],
+    )? {
+        let site = string_of(&entry[0].1, "health site")?;
+        let severity = string_of(&entry[2].1, &format!("health site {site:?} severity"))?;
+        if !matches!(severity.as_str(), "info" | "warning" | "error") {
+            return Err(format!("health site {site:?} has unknown severity {severity:?}"));
+        }
+        health.sites.push(ParsedHealthSite {
+            metric: string_of(&entry[1].1, &format!("health site {site:?} metric"))?,
+            severity,
+            count: number_of(&entry[3].1, &format!("health site {site:?} count"))?,
+            worst: nullable_of(&entry[4].1, &format!("health site {site:?} worst"))?,
+            threshold: nullable_of(&entry[5].1, &format!("health site {site:?} threshold"))?,
+            site,
+        });
+    }
+    Ok(ParsedProfile { profile: profile.clone(), spans, counters, gauges, histograms, health })
 }
 
 /// Audits a parsed profile: structural sanity of every span (a positive
@@ -456,6 +524,135 @@ pub fn audit_profile(
             }
             Some(_) => {}
         }
+    }
+    // The numerical-health gate: any error-severity event in a profiled run
+    // means a solve went numerically wrong, which no timing gate would catch.
+    if profile.health.error > 0.0 {
+        let worst: Vec<String> = profile
+            .health
+            .sites
+            .iter()
+            .filter(|s| s.severity == "error")
+            .map(|s| format!("{}/{} (worst {:?})", s.site, s.metric, s.worst))
+            .collect();
+        violations.push(format!(
+            "profile records {} error-severity health event(s): {}",
+            profile.health.error,
+            worst.join(", ")
+        ));
+    }
+    violations
+}
+
+/// Default ratio tolerance for [`compare_profiles`]: per-span self time may
+/// drift by up to this factor either way before the gate fails. Profiles
+/// cross machines (committed baseline vs CI runner), so only
+/// order-of-magnitude shifts are actionable.
+pub const DEFAULT_PROFILE_TOLERANCE: f64 = 100.0;
+
+/// Spans whose self time is below this floor (seconds) on either side are
+/// exempt from the ratio gate — sub-millisecond timings are pure noise.
+pub const PROFILE_SELF_TIME_FLOOR: f64 = 1e-3;
+
+/// Compares a fresh profile snapshot against a committed baseline:
+/// structural drift (new or vanished span paths and counters) is exact,
+/// per-span self-time ratios and counter ratios are gated by `tolerance`,
+/// and error-severity health events always fail.
+///
+/// Returns one message per violation; an empty vector means the gate passes.
+pub fn compare_profiles(
+    baseline: &ParsedProfile,
+    fresh: &ParsedProfile,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if baseline.profile != fresh.profile {
+        violations.push(format!(
+            "profile renamed: baseline {:?}, fresh {:?}",
+            baseline.profile, fresh.profile
+        ));
+    }
+
+    // Span sets must match exactly: a new span means new instrumentation
+    // that needs a recommitted baseline, a vanished span means coverage rot.
+    for span in &fresh.spans {
+        match baseline.spans.iter().find(|b| b.name == span.name) {
+            None => violations.push(format!(
+                "span {:?} is not in the committed baseline (new instrumentation? recommit the \
+                 baseline profile)",
+                span.name
+            )),
+            Some(base) => {
+                let (Some(bs), Some(fs)) = (base.self_s, span.self_s) else {
+                    violations.push(format!(
+                        "span {:?} has a null self time: baseline {:?}, fresh {:?}",
+                        span.name, base.self_s, span.self_s
+                    ));
+                    continue;
+                };
+                // Only gate spans that carry real time on both sides; the
+                // floor keeps scheduler noise on cheap spans out of the gate.
+                if bs >= PROFILE_SELF_TIME_FLOOR && fs >= PROFILE_SELF_TIME_FLOOR {
+                    let ratio = fs / bs;
+                    if ratio > tolerance || ratio < 1.0 / tolerance {
+                        violations.push(format!(
+                            "span {:?} self time moved {ratio:.3}x against the baseline \
+                             (tolerance {tolerance}x): baseline {bs}, fresh {fs}",
+                            span.name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for base in &baseline.spans {
+        if !fresh.spans.iter().any(|s| s.name == base.name) {
+            violations.push(format!(
+                "span {:?} is in the committed baseline but vanished from the fresh profile",
+                base.name
+            ));
+        }
+    }
+
+    // Counters: same exact-set rule, ratio-gated values.
+    for (name, value) in &fresh.counters {
+        match baseline.counter(name) {
+            None => violations.push(format!("counter {name:?} is not in the committed baseline")),
+            Some(base) => {
+                if base == 0.0 && *value == 0.0 {
+                    continue;
+                }
+                if base == 0.0 || *value == 0.0 {
+                    violations.push(format!(
+                        "counter {name:?} collapsed to zero on one side: baseline {base}, \
+                         fresh {value}"
+                    ));
+                    continue;
+                }
+                let ratio = value / base;
+                if ratio > tolerance || ratio < 1.0 / tolerance {
+                    violations.push(format!(
+                        "counter {name:?} moved {ratio:.3}x against the baseline (tolerance \
+                         {tolerance}x): baseline {base}, fresh {value}"
+                    ));
+                }
+            }
+        }
+    }
+    for (name, _) in &baseline.counters {
+        if fresh.counter(name).is_none() {
+            violations.push(format!(
+                "counter {name:?} is in the committed baseline but vanished from the fresh \
+                 profile"
+            ));
+        }
+    }
+
+    if fresh.health.error > 0.0 {
+        violations.push(format!(
+            "fresh profile records {} error-severity health event(s)",
+            fresh.health.error
+        ));
     }
     violations
 }
@@ -806,6 +1003,7 @@ mod tests {
     /// Builds a real profile snapshot through the telemetry crate so the
     /// writer and this parser are exercised as a pair.
     fn telemetry_profile() -> ParsedProfile {
+        let _serial = rlckit_telemetry::test_support::lock();
         let _collector = rlckit_telemetry::Collector::enable();
         rlckit_telemetry::Collector::reset();
         {
@@ -814,6 +1012,7 @@ mod tests {
             rlckit_telemetry::counter_add("check.counter", 2);
             rlckit_telemetry::gauge_set("check.gauge", 0.5);
             rlckit_telemetry::observe_seconds("check.hist", 1e-3);
+            rlckit_telemetry::check_metric("check.site", "backward_error", 1e-14, 1e-10, 1e-6);
         }
         let snapshot = rlckit_telemetry::Collector::snapshot();
         parse_profile(&snapshot.to_json("unit")).expect("writer output parses")
@@ -829,6 +1028,12 @@ mod tests {
         assert_eq!(parsed.counter("check.counter"), Some(2.0));
         assert_eq!(parsed.gauges, ["check.gauge"]);
         assert_eq!(parsed.histograms, ["check.hist"]);
+        assert_eq!(parsed.health.info, 1.0);
+        assert_eq!(parsed.health.error, 0.0);
+        assert_eq!(parsed.health.sites.len(), 1);
+        assert_eq!(parsed.health.sites[0].site, "check.site");
+        assert_eq!(parsed.health.sites[0].metric, "backward_error");
+        assert_eq!(parsed.health.sites[0].severity, "info");
     }
 
     #[test]
@@ -870,6 +1075,7 @@ mod tests {
             counters: Vec::new(),
             gauges: Vec::new(),
             histograms: Vec::new(),
+            health: ParsedHealth::default(),
         };
         assert!(audit_profile(&empty, &[], &[]).iter().any(|v| v.contains("no spans")));
 
@@ -896,5 +1102,98 @@ mod tests {
         assert!(violations.iter().any(|v| v.contains("non-positive count")));
         assert!(violations.iter().any(|v| v.contains("more self time")));
         assert!(violations.iter().any(|v| v.contains("null timing")));
+    }
+
+    /// A hand-built profile with one healthy span and counter.
+    fn profile_with(spans: &[(&str, f64)], counters: &[(&str, f64)]) -> ParsedProfile {
+        ParsedProfile {
+            profile: "unit".to_owned(),
+            spans: spans
+                .iter()
+                .map(|&(name, self_s)| ParsedSpan {
+                    name: name.to_owned(),
+                    count: 1.0,
+                    total_s: Some(self_s),
+                    self_s: Some(self_s),
+                })
+                .collect(),
+            counters: counters.iter().map(|&(n, v)| (n.to_owned(), v)).collect(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            health: ParsedHealth::default(),
+        }
+    }
+
+    #[test]
+    fn audit_fails_on_error_severity_health_events() {
+        let mut profile = profile_with(&[("a", 0.1)], &[]);
+        profile.health = ParsedHealth {
+            info: 5.0,
+            warning: 1.0,
+            error: 2.0,
+            sites: vec![ParsedHealthSite {
+                site: "sparse.solve".to_owned(),
+                metric: "backward_error".to_owned(),
+                severity: "error".to_owned(),
+                count: 8.0,
+                worst: Some(3e-4),
+                threshold: Some(1e-6),
+            }],
+        };
+        let violations = audit_profile(&profile, &[], &[]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("error-severity"));
+        assert!(violations[0].contains("sparse.solve/backward_error"));
+
+        profile.health.error = 0.0;
+        assert!(audit_profile(&profile, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn profile_diff_passes_identical_and_noisy_profiles() {
+        let baseline = profile_with(&[("run/solve", 0.5), ("run/tiny", 1e-6)], &[("cells", 64.0)]);
+        assert!(compare_profiles(&baseline, &baseline, DEFAULT_PROFILE_TOLERANCE).is_empty());
+        // Machine noise well inside the tolerance passes, and sub-floor spans
+        // are never ratio-gated no matter how far they move.
+        let noisy = profile_with(&[("run/solve", 1.5), ("run/tiny", 9e-4)], &[("cells", 64.0)]);
+        assert!(compare_profiles(&baseline, &noisy, DEFAULT_PROFILE_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn profile_diff_fails_inflated_self_time() {
+        let baseline = profile_with(&[("run/solve", 0.5)], &[]);
+        let slow = profile_with(&[("run/solve", 0.5 * 1e4)], &[]);
+        let violations = compare_profiles(&baseline, &slow, DEFAULT_PROFILE_TOLERANCE);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("self time moved"));
+    }
+
+    #[test]
+    fn profile_diff_fails_new_and_vanished_spans_and_counters() {
+        let baseline = profile_with(&[("run/solve", 0.5)], &[("cells", 64.0)]);
+        let drifted = profile_with(&[("run/other", 0.5)], &[("rows", 64.0)]);
+        let violations = compare_profiles(&baseline, &drifted, DEFAULT_PROFILE_TOLERANCE);
+        assert_eq!(violations.len(), 4, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("\"run/other\"") && v.contains("not in")));
+        assert!(violations.iter().any(|v| v.contains("\"run/solve\"") && v.contains("vanished")));
+        assert!(violations.iter().any(|v| v.contains("\"rows\"") && v.contains("not in")));
+        assert!(violations.iter().any(|v| v.contains("\"cells\"") && v.contains("vanished")));
+    }
+
+    #[test]
+    fn profile_diff_fails_counter_collapse_and_health_errors() {
+        let baseline = profile_with(&[("run/solve", 0.5)], &[("cells", 64.0)]);
+        let mut fresh = profile_with(&[("run/solve", 0.5)], &[("cells", 0.0)]);
+        fresh.health.error = 1.0;
+        let violations = compare_profiles(&baseline, &fresh, DEFAULT_PROFILE_TOLERANCE);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("collapsed to zero")));
+        assert!(violations.iter().any(|v| v.contains("error-severity")));
+    }
+
+    #[test]
+    fn profile_diff_round_trips_through_the_writer() {
+        let parsed = telemetry_profile();
+        assert!(compare_profiles(&parsed, &parsed, DEFAULT_PROFILE_TOLERANCE).is_empty());
     }
 }

@@ -222,19 +222,32 @@ pub fn write_trajectory_or_exit(report: &PerfReport) {
 }
 
 /// If profiling is active, snapshots the telemetry registry and writes it to
-/// `PROFILE_<profile>.json` at the workspace root (exiting nonzero on an I/O
-/// failure, like [`write_trajectory_or_exit`]). A no-op when profiling is
-/// off, so every bench can call it unconditionally.
+/// `PROFILE_<profile>.json`; if timeline tracing is active, also writes the
+/// Chrome trace-event document `TRACE_<profile>.json`. Both land in
+/// `RLCKIT_PROFILE_DIR` when that is set, otherwise at the workspace root,
+/// and an I/O failure exits nonzero (like [`write_trajectory_or_exit`]). A
+/// no-op when neither layer is on, so every bench can call it
+/// unconditionally.
 pub fn write_profile_if_enabled(profile: &str) {
-    if !rlckit_telemetry::enabled() {
-        return;
+    let dir = rlckit_telemetry::output_dir(&workspace_root());
+    if rlckit_telemetry::enabled() {
+        let snapshot = rlckit_telemetry::Collector::snapshot();
+        match snapshot.write(profile, &dir) {
+            Ok(path) => println!("profile written to {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write profile PROFILE_{profile}.json: {e}");
+                std::process::exit(1);
+            }
+        }
     }
-    let snapshot = rlckit_telemetry::Collector::snapshot();
-    match snapshot.write(profile, &workspace_root()) {
-        Ok(path) => println!("profile written to {}", path.display()),
-        Err(e) => {
-            eprintln!("could not write profile PROFILE_{profile}.json: {e}");
-            std::process::exit(1);
+    if rlckit_telemetry::trace_enabled() {
+        let trace = rlckit_telemetry::Collector::trace_snapshot();
+        match trace.write(profile, &dir) {
+            Ok(path) => println!("timeline trace written to {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write trace TRACE_{profile}.json: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

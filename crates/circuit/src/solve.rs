@@ -205,14 +205,21 @@ pub fn factor_real(
     backend: SolverBackend,
     stage: &'static str,
 ) -> Result<FactoredMna<f64>, CircuitError> {
-    if resolve_backend(mna, backend) == ResolvedBackend::Sparse {
+    let factored = if resolve_backend(mna, backend) == ResolvedBackend::Sparse {
         let a = mna.assemble_csc_real(gs, cs);
         let factor = SparseLuFactor::factor(&a, mna.sparse_symbolic())
             .map_err(|_| CircuitError::SingularSystem { stage })?;
-        return Ok(FactoredMna { solver: FactoredSolver::from_sparse(factor), perm: None });
+        FactoredMna { solver: FactoredSolver::from_sparse_with_matrix(factor, &a), perm: None }
+    } else {
+        let a = mna.assemble_real(gs, cs);
+        FactoredMna::factor(mna, &a, backend, stage)?
+    };
+    if rlckit_telemetry::enabled() {
+        // One condition estimate per factorisation (a handful of extra
+        // solves against the factors we just built) feeds the health report.
+        factored.packed_solver().condest_health();
     }
-    let a = mna.assemble_real(gs, cs);
-    FactoredMna::factor(mna, &a, backend, stage)
+    Ok(factored)
 }
 
 /// Factorises the complex system `G + s·C` with the requested backend,
@@ -232,7 +239,10 @@ pub fn factor_complex(
         let a = mna.assemble_csc_complex(s);
         let factor = SparseLuFactor::factor(&a, mna.sparse_symbolic())
             .map_err(|_| CircuitError::SingularSystem { stage })?;
-        return Ok(FactoredMna { solver: FactoredSolver::from_sparse(factor), perm: None });
+        return Ok(FactoredMna {
+            solver: FactoredSolver::from_sparse_with_matrix(factor, &a),
+            perm: None,
+        });
     }
     let a = mna.assemble_complex(s);
     FactoredMna::factor(mna, &a, backend, stage)

@@ -231,6 +231,25 @@ pub fn run_transient(
             }
         }
         state = factor.solve(&rhs);
+        if profiling && n.is_multiple_of(16) {
+            // Spot-check the step's linear system with one extra O(nnz)
+            // stamp-level mat-vec: ‖A·x − b‖∞ / max(‖A·x‖∞, ‖b‖∞).
+            let ax = mna.apply_real(lhs_g, 1.0 / dt, &state);
+            let mut residual = 0.0_f64;
+            let mut scale = 0.0_f64;
+            for (axi, ri) in ax.iter().zip(rhs.iter()) {
+                residual = residual.max((axi - ri).abs());
+                scale = scale.max(axi.abs()).max(ri.abs());
+            }
+            let metric = if scale == 0.0 { 0.0 } else { residual / scale };
+            rlckit_telemetry::check_metric(
+                "transient.stepping",
+                "step_residual",
+                metric,
+                rlckit_numeric::condition::STEP_RESIDUAL_WARN,
+                rlckit_numeric::condition::STEP_RESIDUAL_ERROR,
+            );
+        }
         times.push(t);
         for (k, series) in states.iter_mut().enumerate() {
             series.push(state[k]);

@@ -267,6 +267,25 @@ impl<T: Scalar> BandedLuFactor<T> {
             }
         }
 
+        // Near-singularity health proxy from the U diagonal (see lu.rs) —
+        // profiler-gated, O(n).
+        if rlckit_telemetry::enabled() {
+            let mut max_d = 0.0_f64;
+            let mut min_d = f64::INFINITY;
+            for i in 0..n {
+                let m = at(&data, i, i).modulus();
+                max_d = max_d.max(m);
+                min_d = min_d.min(m);
+            }
+            rlckit_telemetry::check_metric(
+                "banded.factor",
+                "near_singularity",
+                f64::EPSILON * max_d / min_d,
+                crate::condition::NEAR_SINGULAR_WARN,
+                crate::condition::NEAR_SINGULAR_ERROR,
+            );
+        }
+
         Ok(Self { n, kl, kuf, data, ipiv })
     }
 
@@ -313,6 +332,65 @@ impl<T: Scalar> BandedLuFactor<T> {
             x[i] = acc / at(i, i);
         }
         x
+    }
+
+    /// Solves the transposed system `Aᵀ·x = b` with the same stored factors
+    /// (LAPACK `dgbtrs` with `TRANS = 'T'`): a forward sweep with the banded
+    /// `Uᵀ`, then the unit-lower multipliers and row interchanges applied in
+    /// reverse elimination order. Fuel for the Hager–Higham condition
+    /// estimator ([`crate::condition::invnorm1_estimate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not equal the matrix dimension.
+    pub fn solve_transpose(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.n, "right-hand side length must equal matrix dimension");
+        let width = self.kl + self.kuf + 1;
+        let at = |i: usize, j: usize| -> T { self.data[i * width + (j + self.kl - i)] };
+        let mut x = b.to_vec();
+
+        // Forward substitution with Uᵀ: row i of Uᵀ holds U's column i,
+        // whose entries live in rows i-kuf..=i.
+        for i in 0..self.n {
+            let mut acc = x[i];
+            let lo = i.saturating_sub(self.kuf);
+            for (j, &xj) in x.iter().enumerate().take(i).skip(lo) {
+                acc = acc - at(j, i) * xj;
+            }
+            x[i] = acc / at(i, i);
+        }
+
+        // Backward: undo the interleaved (swap, eliminate) steps of the
+        // forward solve in reverse — subtract the column-j multipliers, then
+        // apply the step-j interchange.
+        for j in (0..self.n).rev() {
+            let mut acc = x[j];
+            let last_row = (j + self.kl).min(self.n - 1);
+            for (i, &xi) in x.iter().enumerate().take(last_row + 1).skip(j + 1) {
+                acc = acc - at(i, j) * xi;
+            }
+            x[j] = acc;
+            let p = self.ipiv[j];
+            if p != j {
+                x.swap(j, p);
+            }
+        }
+        x
+    }
+}
+
+impl BandedLuFactor<f64> {
+    /// Hager–Higham estimate of `κ₁(A) = ‖A‖₁·‖A⁻¹‖₁` from the stored
+    /// factors, given the 1-norm of the original matrix. A handful of extra
+    /// `O(n·b)` solves, no re-factorisation; a lower bound of the true
+    /// condition number.
+    pub fn condest(&self, norm_one_a: f64) -> f64 {
+        norm_one_a
+            * crate::condition::invnorm1_estimate(
+                self.dim(),
+                |b| self.solve(b),
+                |b| self.solve_transpose(b),
+            )
     }
 }
 

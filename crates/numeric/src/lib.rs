@@ -13,6 +13,9 @@
 //! * [`ordering`] — reverse Cuthill–McKee bandwidth reduction;
 //! * [`solver`] — the [`SolverBackend`] policy that
 //!   dispatches between the dense and banded kernels;
+//! * [`condition`] — normwise backward error and the Hager–Higham 1-norm
+//!   condition estimate, feeding the numerical-health monitors of
+//!   `rlckit-telemetry` from retained factors at `O(nnz)` cost;
 //! * [`roots`] — bracketing root finders (bisection, Brent);
 //! * [`optimize`] — golden-section search, Nelder–Mead simplex and grid
 //!   refinement (used by the numerical repeater optimiser);
@@ -52,6 +55,7 @@
 
 pub mod banded;
 pub mod complex;
+pub mod condition;
 pub mod eig;
 pub mod interp;
 pub mod laplace;

@@ -108,6 +108,26 @@ impl<T: Scalar> LuFactor<T> {
             }
         }
 
+        // Health check, only under an active profiler: ε·max|uᵢᵢ|/min|uᵢᵢ|
+        // is a cheap lower-bound proxy for ε·cond(A) — near 1 the factors
+        // carry no correct digits.
+        if rlckit_telemetry::enabled() {
+            let mut max_d = 0.0_f64;
+            let mut min_d = f64::INFINITY;
+            for i in 0..n {
+                let m = lu[(i, i)].modulus();
+                max_d = max_d.max(m);
+                min_d = min_d.min(m);
+            }
+            rlckit_telemetry::check_metric(
+                "dense.factor",
+                "near_singularity",
+                f64::EPSILON * max_d / min_d,
+                crate::condition::NEAR_SINGULAR_WARN,
+                crate::condition::NEAR_SINGULAR_ERROR,
+            );
+        }
+
         Ok(Self { lu, perm, num_swaps })
     }
 
@@ -147,6 +167,48 @@ impl<T: Scalar> LuFactor<T> {
         x
     }
 
+    /// Solves the transposed system `Aᵀ·x = b` using the same stored factors.
+    ///
+    /// With `P·A = L·U` the transpose factors as `Aᵀ = Uᵀ·Lᵀ·P`, so the
+    /// substitution order flips: a forward sweep with `Uᵀ` (lower
+    /// triangular), a backward sweep with the unit-diagonal `Lᵀ`, then the
+    /// permutation applied to the *output*. One factorisation thus serves
+    /// both orientations — which is what the Hager–Higham condition
+    /// estimator ([`crate::condition::invnorm1_estimate`]) needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not equal the matrix dimension.
+    pub fn solve_transpose(&self, b: &[T]) -> Vec<T> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "right-hand side length must equal matrix dimension");
+
+        // Forward substitution with Uᵀ (columns of U read as rows).
+        let mut y = vec![T::zero(); n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc = acc - self.lu[(j, i)] * yj;
+            }
+            y[i] = acc / self.lu[(i, i)];
+        }
+        // Backward substitution with the unit-diagonal Lᵀ.
+        let mut w = vec![T::zero(); n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for (j, &wj) in w.iter().enumerate().skip(i + 1) {
+                acc = acc - self.lu[(j, i)] * wj;
+            }
+            w[i] = acc;
+        }
+        // Undo the row permutation on the output side: x = Pᵀ·w.
+        let mut x = vec![T::zero(); n];
+        for (i, &wi) in w.iter().enumerate() {
+            x[self.perm[i]] = wi;
+        }
+        x
+    }
+
     /// Determinant of the original matrix (product of pivots with sign from
     /// the row swaps).
     pub fn determinant(&self) -> T {
@@ -156,6 +218,21 @@ impl<T: Scalar> LuFactor<T> {
             det = det * self.lu[(i, i)];
         }
         det
+    }
+}
+
+impl LuFactor<f64> {
+    /// Hager–Higham estimate of `κ₁(A) = ‖A‖₁·‖A⁻¹‖₁` from the stored
+    /// factors, given the 1-norm of the original matrix (e.g.
+    /// [`crate::matrix::Matrix::norm_one`]). A handful of extra solves, no
+    /// re-factorisation; a lower bound of the true condition number.
+    pub fn condest(&self, norm_one_a: f64) -> f64 {
+        norm_one_a
+            * crate::condition::invnorm1_estimate(
+                self.dim(),
+                |b| self.solve(b),
+                |b| self.solve_transpose(b),
+            )
     }
 }
 

@@ -213,6 +213,20 @@ impl<T: Scalar> Matrix<T> {
         self.data.iter().map(|v| v.modulus()).fold(0.0, f64::max)
     }
 
+    /// Induced ∞-norm `‖A‖∞` — the maximum row sum of moduli.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)].modulus()).sum())
+            .fold(0.0, f64::max)
+    }
+
+    /// Induced 1-norm `‖A‖₁` — the maximum column sum of moduli.
+    pub fn norm_one(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].modulus()).sum())
+            .fold(0.0, f64::max)
+    }
+
     /// Immutable view of the underlying row-major data.
     pub fn as_slice(&self) -> &[T] {
         &self.data

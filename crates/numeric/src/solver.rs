@@ -24,6 +24,7 @@
 //! without caring which kernel ran.
 
 use crate::banded::{BandedLuFactor, BandedMatrix};
+use crate::condition;
 use crate::lu::{FactorizeError, LuFactor};
 use crate::matrix::Scalar;
 use crate::sparse::{CscMatrix, SparseLuFactor};
@@ -97,14 +98,50 @@ impl ResolvedBackend {
 }
 
 /// A backend-erased LU factorisation.
+///
+/// When the profiler is enabled at factor time ([`rlckit_telemetry::enabled`])
+/// the solver additionally retains a CSC copy of the assembled matrix and its
+/// norms. The retained copy powers the numerical-health monitors: every
+/// subsequent [`FactoredSolver::solve`] computes the normwise backward error
+/// `‖A·x − b‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)` from one `O(nnz)` matrix–vector
+/// product and feeds it to [`rlckit_telemetry::check_metric`], and
+/// [`FactoredSolver::condest`] reuses the factors for a Hager–Higham 1-norm
+/// condition estimate. With the profiler disabled nothing is retained and
+/// solves carry zero extra cost.
 #[derive(Debug, Clone)]
-pub enum FactoredSolver<T: Scalar = f64> {
-    /// Factors held by the dense kernel.
+pub struct FactoredSolver<T: Scalar = f64> {
+    kernel: FactorKernel<T>,
+    retained: Option<RetainedMatrix<T>>,
+}
+
+/// The kernel-specific factors behind a [`FactoredSolver`].
+#[derive(Debug, Clone)]
+enum FactorKernel<T: Scalar> {
     Dense(LuFactor<T>),
-    /// Factors held by the banded kernel.
     Banded(BandedLuFactor<T>),
-    /// Factors held by the sparse kernel.
     Sparse(SparseLuFactor<T>),
+}
+
+/// Profiler-gated copy of the assembled matrix, kept alongside the factors so
+/// backward errors and condition estimates never need the caller's matrix.
+#[derive(Debug, Clone)]
+struct RetainedMatrix<T: Scalar> {
+    a: CscMatrix<T>,
+    norm_inf: f64,
+    norm_one: f64,
+}
+
+impl<T: Scalar> RetainedMatrix<T> {
+    fn new(a: CscMatrix<T>) -> Self {
+        let norm_inf = a.norm_inf();
+        let norm_one = a.norm_one();
+        Self { a, norm_inf, norm_one }
+    }
+
+    /// Retains `a` only while the profiler is enabled.
+    fn when_enabled(a: &CscMatrix<T>) -> Option<Self> {
+        rlckit_telemetry::enabled().then(|| Self::new(a.clone()))
+    }
 }
 
 impl<T: Scalar> FactoredSolver<T> {
@@ -120,13 +157,16 @@ impl<T: Scalar> FactoredSolver<T> {
     /// Propagates [`FactorizeError`] from the chosen kernel.
     pub fn factor(a: &BandedMatrix<T>, backend: SolverBackend) -> Result<Self, FactorizeError> {
         let resolved = backend.resolve(a.dim(), a.lower_bandwidth(), a.upper_bandwidth());
-        match resolved {
-            ResolvedBackend::Dense => Ok(Self::Dense(LuFactor::new(&a.to_dense())?)),
-            ResolvedBackend::Banded => Ok(Self::Banded(BandedLuFactor::new(a)?)),
+        let kernel = match resolved {
+            ResolvedBackend::Dense => FactorKernel::Dense(LuFactor::new(&a.to_dense())?),
+            ResolvedBackend::Banded => FactorKernel::Banded(BandedLuFactor::new(a)?),
             ResolvedBackend::Sparse => {
-                Ok(Self::Sparse(SparseLuFactor::factor_auto(&CscMatrix::from_banded(a))?))
+                FactorKernel::Sparse(SparseLuFactor::factor_auto(&CscMatrix::from_banded(a))?)
             }
-        }
+        };
+        let retained =
+            rlckit_telemetry::enabled().then(|| RetainedMatrix::new(CscMatrix::from_banded(a)));
+        Ok(Self { kernel, retained })
     }
 
     /// Factorises a compressed-sparse-column matrix with the requested
@@ -145,35 +185,109 @@ impl<T: Scalar> FactoredSolver<T> {
             }
         }
         let resolved = backend.resolve(a.dim(), kl, ku);
-        match resolved {
-            ResolvedBackend::Sparse => Ok(Self::Sparse(SparseLuFactor::factor_auto(a)?)),
-            ResolvedBackend::Dense => Ok(Self::Dense(LuFactor::new(&a.to_dense())?)),
+        let kernel = match resolved {
+            ResolvedBackend::Sparse => FactorKernel::Sparse(SparseLuFactor::factor_auto(a)?),
+            ResolvedBackend::Dense => FactorKernel::Dense(LuFactor::new(&a.to_dense())?),
             ResolvedBackend::Banded => {
                 let mut band = BandedMatrix::zeros(a.dim(), kl, ku);
                 for (r, c, v) in a.triplets() {
                     band.set(r, c, v);
                 }
-                Ok(Self::Banded(BandedLuFactor::new(&band)?))
+                FactorKernel::Banded(BandedLuFactor::new(&band)?)
             }
-        }
+        };
+        Ok(Self { kernel, retained: RetainedMatrix::when_enabled(a) })
     }
 
     /// Wraps an already-computed sparse factorisation (used by callers that
     /// manage their own [`crate::sparse::SparseSymbolic`] reuse).
+    ///
+    /// No matrix is retained, so the health monitors stay silent on this
+    /// solver; prefer [`FactoredSolver::from_sparse_with_matrix`] when the
+    /// assembled matrix is still in scope.
     pub fn from_sparse(factor: SparseLuFactor<T>) -> Self {
-        Self::Sparse(factor)
+        Self { kernel: FactorKernel::Sparse(factor), retained: None }
+    }
+
+    /// Wraps an already-computed sparse factorisation together with the
+    /// matrix it factored, so backward-error monitoring and
+    /// [`FactoredSolver::condest`] work when the profiler is enabled.
+    pub fn from_sparse_with_matrix(factor: SparseLuFactor<T>, a: &CscMatrix<T>) -> Self {
+        Self { kernel: FactorKernel::Sparse(factor), retained: RetainedMatrix::when_enabled(a) }
+    }
+
+    /// Runs the kernel substitution without health bookkeeping (shared by
+    /// the public solve paths and the condition estimator, whose probe
+    /// solves must not pollute the backward-error statistics).
+    fn kernel_solve(&self, b: &[T]) -> Vec<T> {
+        match &self.kernel {
+            FactorKernel::Dense(f) => f.solve(b),
+            FactorKernel::Banded(f) => f.solve(b),
+            FactorKernel::Sparse(f) => f.solve(b),
+        }
+    }
+
+    /// Computes and records the backward error of a completed solve when the
+    /// profiler is enabled and a matrix was retained at factor time.
+    fn emit_backward_error(&self, b: &[T], x: &[T]) {
+        if !rlckit_telemetry::enabled() {
+            return;
+        }
+        let Some(retained) = &self.retained else { return };
+        let ax = retained.a.mul_vec(x);
+        let be = condition::backward_error(retained.norm_inf, &ax, x, b);
+        rlckit_telemetry::check_metric(
+            self.solve_site(),
+            "backward_error",
+            be,
+            condition::BACKWARD_ERROR_WARN,
+            condition::BACKWARD_ERROR_ERROR,
+        );
+    }
+
+    /// Health-event site for this solver's solve path.
+    fn solve_site(&self) -> &'static str {
+        match self.kernel {
+            FactorKernel::Dense(_) => "dense.solve",
+            FactorKernel::Banded(_) => "banded.solve",
+            FactorKernel::Sparse(_) => "sparse.solve",
+        }
+    }
+
+    /// Health-event site for this solver's factorisation path.
+    fn factor_site(&self) -> &'static str {
+        match self.kernel {
+            FactorKernel::Dense(_) => "dense.factor",
+            FactorKernel::Banded(_) => "banded.factor",
+            FactorKernel::Sparse(_) => "sparse.factor",
+        }
     }
 
     /// Solves `A·x = b` with the stored factors.
+    ///
+    /// With the profiler enabled and a retained matrix, also records the
+    /// normwise backward error of the computed solution as a health metric
+    /// at site `"<kernel>.solve"`.
     ///
     /// # Panics
     ///
     /// Panics if `b.len()` does not equal the matrix dimension.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
-        match self {
-            Self::Dense(f) => f.solve(b),
-            Self::Banded(f) => f.solve(b),
-            Self::Sparse(f) => f.solve(b),
+        let x = self.kernel_solve(b);
+        self.emit_backward_error(b, &x);
+        x
+    }
+
+    /// Solves `Aᵀ·x = b` with the stored factors (no re-factorisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not equal the matrix dimension.
+    pub fn solve_transpose(&self, b: &[T]) -> Vec<T> {
+        match &self.kernel {
+            FactorKernel::Dense(f) => f.solve_transpose(b),
+            FactorKernel::Banded(f) => f.solve_transpose(b),
+            FactorKernel::Sparse(f) => f.solve_transpose(b),
         }
     }
 
@@ -189,8 +303,14 @@ impl<T: Scalar> FactoredSolver<T> {
     ///
     /// Panics if any right-hand side's length differs from the dimension.
     pub fn solve_many(&self, rhs: &[Vec<T>]) -> Vec<Vec<T>> {
-        match self {
-            Self::Sparse(f) => f.solve_many(rhs),
+        match &self.kernel {
+            FactorKernel::Sparse(f) => {
+                let xs = f.solve_many(rhs);
+                for (b, x) in rhs.iter().zip(xs.iter()) {
+                    self.emit_backward_error(b, x);
+                }
+                xs
+            }
             _ => rhs.iter().map(|b| self.solve(b)).collect(),
         }
     }
@@ -213,35 +333,77 @@ impl<T: Scalar> FactoredSolver<T> {
     /// Panics (sparse kernel) if `a` has an entry outside the originally
     /// factored fill pattern.
     pub fn refactor_csc(&mut self, a: &CscMatrix<T>) -> Result<(), FactorizeError> {
-        match self {
-            Self::Sparse(f) => f.refactor(a),
-            Self::Dense(_) => {
-                *self = Self::factor_csc(a, SolverBackend::Dense)?;
-                Ok(())
-            }
-            Self::Banded(_) => {
-                *self = Self::factor_csc(a, SolverBackend::Banded)?;
-                Ok(())
-            }
+        match &mut self.kernel {
+            FactorKernel::Sparse(f) => f.refactor(a)?,
+            FactorKernel::Dense(_) => *self = Self::factor_csc(a, SolverBackend::Dense)?,
+            FactorKernel::Banded(_) => *self = Self::factor_csc(a, SolverBackend::Banded)?,
         }
+        // Refresh (or drop) the retained copy so health metrics always refer
+        // to the values currently factored.
+        self.retained = RetainedMatrix::when_enabled(a);
+        Ok(())
     }
 
     /// Dimension of the factorised matrix.
     pub fn dim(&self) -> usize {
-        match self {
-            Self::Dense(f) => f.dim(),
-            Self::Banded(f) => f.dim(),
-            Self::Sparse(f) => f.dim(),
+        match &self.kernel {
+            FactorKernel::Dense(f) => f.dim(),
+            FactorKernel::Banded(f) => f.dim(),
+            FactorKernel::Sparse(f) => f.dim(),
         }
     }
 
     /// Which kernel this factorisation uses.
     pub fn backend(&self) -> ResolvedBackend {
-        match self {
-            Self::Dense(_) => ResolvedBackend::Dense,
-            Self::Banded(_) => ResolvedBackend::Banded,
-            Self::Sparse(_) => ResolvedBackend::Sparse,
+        match self.kernel {
+            FactorKernel::Dense(_) => ResolvedBackend::Dense,
+            FactorKernel::Banded(_) => ResolvedBackend::Banded,
+            FactorKernel::Sparse(_) => ResolvedBackend::Sparse,
         }
+    }
+
+    /// Whether a matrix copy was retained at factor time (i.e. whether the
+    /// health monitors can observe this solver).
+    pub fn has_retained_matrix(&self) -> bool {
+        self.retained.is_some()
+    }
+}
+
+impl FactoredSolver<f64> {
+    /// Hager–Higham estimate of the 1-norm condition number `κ₁(A) =
+    /// ‖A‖₁·‖A⁻¹‖₁`, reusing the stored factors (a handful of extra solves,
+    /// no re-factorisation).
+    ///
+    /// Returns `None` when no matrix was retained at factor time (profiler
+    /// disabled, or [`FactoredSolver::from_sparse`] construction). The
+    /// estimate is a lower bound of the true condition number, almost always
+    /// within the classic 10× estimator band.
+    pub fn condest(&self) -> Option<f64> {
+        let retained = self.retained.as_ref()?;
+        let inv_norm = condition::invnorm1_estimate(
+            self.dim(),
+            |b| self.kernel_solve(b),
+            |b| self.solve_transpose(b),
+        );
+        Some(retained.norm_one * inv_norm)
+    }
+
+    /// Runs [`FactoredSolver::condest`] and feeds the estimate to the health
+    /// monitors: gauge `"solver.condest"` plus a `"condest"` health metric at
+    /// site `"<kernel>.factor"`.
+    ///
+    /// Returns the estimate, or `None` when no matrix was retained.
+    pub fn condest_health(&self) -> Option<f64> {
+        let estimate = self.condest()?;
+        rlckit_telemetry::gauge_set("solver.condest", estimate);
+        rlckit_telemetry::check_metric(
+            self.factor_site(),
+            "condest",
+            estimate,
+            condition::CONDEST_WARN,
+            condition::CONDEST_ERROR,
+        );
+        Some(estimate)
     }
 }
 
@@ -362,6 +524,87 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn asymmetric_tridiagonal(n: usize) -> BandedMatrix<f64> {
+        let mut a = BandedMatrix::zeros(n, 1, 1);
+        for i in 0..n {
+            a.set(i, i, 4.0 + 0.1 * i as f64);
+            if i + 1 < n {
+                a.set(i, i + 1, -1.0);
+                a.set(i + 1, i, 2.0);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn solve_transpose_agrees_with_the_transposed_dense_system() {
+        let band = asymmetric_tridiagonal(40);
+        let at = band.to_dense().transpose();
+        let b: Vec<f64> = (0..40).map(|i| (i as f64 * 0.17).sin()).collect();
+        let reference = crate::lu::solve(&at, &b).unwrap();
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let f = FactoredSolver::factor(&band, backend).unwrap();
+            let x = f.solve_transpose(&b);
+            for (u, v) in x.iter().zip(reference.iter()) {
+                assert!((u - v).abs() < 1e-12, "{backend:?}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn nothing_is_retained_while_profiling_is_disabled() {
+        let _serial = rlckit_telemetry::test_support::lock();
+        let _off = rlckit_telemetry::Collector::disable();
+        let a = tridiagonal(10);
+        let f = FactoredSolver::factor(&a, SolverBackend::Auto).unwrap();
+        assert!(!f.has_retained_matrix());
+        assert!(f.condest().is_none());
+        assert!(f.condest_health().is_none());
+    }
+
+    #[test]
+    fn profiling_retains_the_matrix_and_records_backward_error_and_condest() {
+        let _serial = rlckit_telemetry::test_support::lock();
+        let collector = rlckit_telemetry::Collector::enable();
+        rlckit_telemetry::Collector::reset();
+        let a = asymmetric_tridiagonal(30);
+        let csc = CscMatrix::from_banded(&a);
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 0.11).cos()).collect();
+        // Exact condition number for the accuracy check.
+        let dense = a.to_dense();
+        let f_exact = crate::lu::LuFactor::new(&dense).unwrap();
+        let exact = {
+            let n = dense.rows();
+            let mut inv_norm = 0.0_f64;
+            for j in 0..n {
+                let mut e = vec![0.0; n];
+                e[j] = 1.0;
+                inv_norm = inv_norm.max(f_exact.solve(&e).iter().map(|v| v.abs()).sum::<f64>());
+            }
+            dense.norm_one() * inv_norm
+        };
+        for backend in [SolverBackend::Dense, SolverBackend::Banded, SolverBackend::Sparse] {
+            let f = FactoredSolver::factor_csc(&csc, backend).unwrap();
+            assert!(f.has_retained_matrix());
+            let _x = f.solve(&b);
+            let est = f.condest_health().expect("matrix retained, condest available");
+            assert!(est <= exact * (1.0 + 1e-12), "estimate {est} above exact {exact}");
+            assert!(est >= exact / 10.0, "estimate {est} below 10x band of exact {exact}");
+        }
+        let snapshot = rlckit_telemetry::Collector::snapshot();
+        for site in ["dense.solve", "banded.solve", "sparse.solve"] {
+            let stat = snapshot
+                .health
+                .site(site, "backward_error")
+                .unwrap_or_else(|| panic!("missing backward_error at {site}"));
+            assert_eq!(stat.severity, rlckit_telemetry::Severity::Info, "{site}");
+            assert!(stat.worst_value < 1e-12, "{site}: backward error {}", stat.worst_value);
+        }
+        assert!(snapshot.health.site("dense.factor", "condest").is_some());
+        assert!(snapshot.gauge("solver.condest").is_some());
+        drop(collector);
     }
 
     #[test]

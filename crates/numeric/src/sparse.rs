@@ -198,6 +198,22 @@ impl<T: Scalar> CscMatrix<T> {
         m
     }
 
+    /// Induced ∞-norm `‖A‖∞` — the maximum row sum of moduli, `O(nnz)`.
+    pub fn norm_inf(&self) -> f64 {
+        let mut row_sums = vec![0.0_f64; self.n];
+        for (&i, &v) in self.row_idx.iter().zip(self.values.iter()) {
+            row_sums[i] += v.modulus();
+        }
+        row_sums.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Induced 1-norm `‖A‖₁` — the maximum column sum of moduli, `O(nnz)`.
+    pub fn norm_one(&self) -> f64 {
+        (0..self.n)
+            .map(|j| self.col_values(j).iter().map(|v| v.modulus()).sum())
+            .fold(0.0, f64::max)
+    }
+
     /// Iterates over all stored entries as `(row, col, value)`.
     pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
         (0..self.n).flat_map(move |j| {
@@ -716,8 +732,32 @@ impl<T: Scalar> SparseLuFactor<T> {
             let max_a =
                 (0..n).flat_map(|j| a.col_values(j)).map(|v| v.modulus()).fold(0.0, f64::max);
             if max_a > 0.0 {
-                rlckit_telemetry::gauge_set("sparse.pivot_growth", max_u / max_a);
+                let growth = max_u / max_a;
+                rlckit_telemetry::gauge_set("sparse.pivot_growth", growth);
+                rlckit_telemetry::check_metric(
+                    "sparse.factor",
+                    "pivot_growth",
+                    growth,
+                    crate::condition::PIVOT_GROWTH_WARN,
+                    crate::condition::PIVOT_GROWTH_ERROR,
+                );
             }
+            // Near-singularity proxy from the U diagonal (see lu.rs): the
+            // diagonal sits last in every U column.
+            let mut max_d = 0.0_f64;
+            let mut min_d = f64::INFINITY;
+            for j in 0..n {
+                let m = u_vals[u_colptr[j + 1] - 1].modulus();
+                max_d = max_d.max(m);
+                min_d = min_d.min(m);
+            }
+            rlckit_telemetry::check_metric(
+                "sparse.factor",
+                "near_singularity",
+                f64::EPSILON * max_d / min_d,
+                crate::condition::NEAR_SINGULAR_WARN,
+                crate::condition::NEAR_SINGULAR_ERROR,
+            );
         }
 
         Ok(Self {
@@ -888,6 +928,52 @@ impl<T: Scalar> SparseLuFactor<T> {
         out
     }
 
+    /// Solves the transposed system `Aᵀ·x = b` with the same stored factors
+    /// in `O(nnz(L) + nnz(U))`.
+    ///
+    /// With `P·A·Q = L·U` the transpose factors as `Aᵀ = Q·Uᵀ·Lᵀ·P`, so the
+    /// permutations swap roles (the column order applies to the input, the
+    /// pivot order to the output) and each substitution runs in dot-product
+    /// form over the stored columns read as rows. Fuel for the Hager–Higham
+    /// condition estimator ([`crate::condition::invnorm1_estimate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not equal the matrix dimension.
+    pub fn solve_transpose(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.n, "right-hand side length must equal matrix dimension");
+        // Column permutation on the input side: position k takes the logical
+        // unknown eliminated at step k.
+        let mut z = vec![T::zero(); self.n];
+        for (k, &logical) in self.order.iter().enumerate() {
+            z[k] = b[logical];
+        }
+        // Forward substitution with Uᵀ: row j of Uᵀ is U's column j, whose
+        // off-diagonal entries (rows < j) precede the trailing diagonal.
+        for j in 0..self.n {
+            let diag = self.u_colptr[j + 1] - 1;
+            let mut acc = z[j];
+            for p in self.u_colptr[j]..diag {
+                acc = acc - self.u_vals[p] * z[self.u_rows[p]];
+            }
+            z[j] = acc / self.u_vals[diag];
+        }
+        // Backward substitution with the unit-diagonal Lᵀ.
+        for j in (0..self.n).rev() {
+            let mut acc = z[j];
+            for p in (self.l_colptr[j] + 1)..self.l_colptr[j + 1] {
+                acc = acc - self.l_vals[p] * z[self.l_rows[p]];
+            }
+            z[j] = acc;
+        }
+        // Row permutation on the output side: x = Pᵀ·z.
+        let mut out = vec![T::zero(); self.n];
+        for (i, out_i) in out.iter_mut().enumerate() {
+            *out_i = z[self.pinv[i]];
+        }
+        out
+    }
+
     /// Solves `A·X = B` for many right-hand sides with the one stored
     /// factorisation, `O(m·(nnz(L) + nnz(U)))` for `m` columns.
     ///
@@ -950,6 +1036,21 @@ impl<T: Scalar> SparseLuFactor<T> {
                 out
             })
             .collect()
+    }
+}
+
+impl SparseLuFactor<f64> {
+    /// Hager–Higham estimate of `κ₁(A) = ‖A‖₁·‖A⁻¹‖₁` from the stored
+    /// factors, given the 1-norm of the original matrix
+    /// ([`CscMatrix::norm_one`]). A handful of extra `O(nnz)` solves, no
+    /// re-factorisation; a lower bound of the true condition number.
+    pub fn condest(&self, norm_one_a: f64) -> f64 {
+        norm_one_a
+            * crate::condition::invnorm1_estimate(
+                self.dim(),
+                |b| self.solve(b),
+                |b| self.solve_transpose(b),
+            )
     }
 }
 

@@ -19,8 +19,8 @@ use crate::scenario::Scenario;
 use crate::spec::SweepSpec;
 
 /// A computed cell in flight between a worker and the result assembly:
-/// `(cell index, cache key, outcome)`.
-type ComputedCell = (usize, u64, Result<Vec<f64>, String>);
+/// `(cell index, cache key, outcome, wall seconds when profiling)`.
+type ComputedCell = (usize, u64, Result<Vec<f64>, String>, Option<f64>);
 
 /// Execution policy for one sweep run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,12 +78,38 @@ pub struct SweepResult {
     pub cache_hits: usize,
     /// Number of rows computed by the workers in this run.
     pub computed: usize,
+    /// Wall-clock seconds per computed cell as `(cell index, seconds)`,
+    /// sorted by cell index. Empty unless profiling
+    /// ([`rlckit_telemetry::enabled`]) was active during the run; cached
+    /// cells never appear (they cost no evaluation).
+    pub cell_seconds: Vec<(usize, f64)>,
+    /// Snapshot of the process-wide numerical-health registry taken when the
+    /// run finished (cumulative across the process, like every telemetry
+    /// registry). Empty unless profiling was active.
+    pub health: rlckit_telemetry::HealthReport,
 }
 
 impl SweepResult {
     /// Returns the first per-cell evaluation error, if any cell failed.
     pub fn first_error(&self) -> Option<(usize, &str)> {
         self.rows.iter().find_map(|r| r.values.as_ref().err().map(|e| (r.index, e.as_str())))
+    }
+
+    /// Indices of every cell whose evaluation failed, in cell order.
+    pub fn failed_cells(&self) -> Vec<usize> {
+        self.rows.iter().filter(|r| r.values.is_err()).map(|r| r.index).collect()
+    }
+
+    /// The `k` slowest computed cells as `(cell index, seconds)`, slowest
+    /// first (ties broken by cell index for determinism). Empty unless the
+    /// run was profiled — see [`SweepResult::cell_seconds`].
+    pub fn slowest_cells(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut ranked = self.cell_seconds.clone();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
     }
 }
 
@@ -162,8 +188,14 @@ pub fn run_sweep_cached(
                 let busy_start = profiling.then(std::time::Instant::now);
                 let mut local = Vec::with_capacity(end - start);
                 for &(index, key) in &pending[start..end] {
+                    // The indexed span tags this cell in the timeline trace
+                    // (`sweep.cell[i]`) while aggregating under `sweep.cell`
+                    // in the profile registry.
+                    let _cell_span = rlckit_telemetry::span_indexed("sweep.cell", index as u64);
+                    let cell_start = profiling.then(std::time::Instant::now);
                     let outcome = evaluate_checked(evaluator, &cells[index].scenario);
-                    local.push((index, key, outcome));
+                    let seconds = cell_start.map(|t| t.elapsed().as_secs_f64());
+                    local.push((index, key, outcome, seconds));
                 }
                 if let Some(t) = busy_start {
                     rlckit_telemetry::observe_seconds(
@@ -180,12 +212,17 @@ pub fn run_sweep_cached(
     let computed_count = computed.len();
     debug_assert_eq!(computed_count, pending.len());
     rlckit_telemetry::counter_add("sweep.cells_evaluated", computed_count as u64);
-    for (index, key, outcome) in computed {
+    let mut cell_seconds: Vec<(usize, f64)> = Vec::new();
+    for (index, key, outcome, seconds) in computed {
         if let Ok(values) = &outcome {
             cache.insert(key, values.clone());
         }
+        if let Some(s) = seconds {
+            cell_seconds.push((index, s));
+        }
         slots[index] = Some(outcome);
     }
+    cell_seconds.sort_unstable_by_key(|&(index, _)| index);
 
     let rows = cells
         .into_iter()
@@ -211,6 +248,12 @@ pub fn run_sweep_cached(
         rows,
         cache_hits,
         computed: computed_count,
+        cell_seconds,
+        health: if profiling {
+            rlckit_telemetry::Collector::snapshot().health
+        } else {
+            rlckit_telemetry::HealthReport::default()
+        },
     })
 }
 
@@ -308,7 +351,35 @@ mod tests {
         assert!(result.rows[2].values.is_ok());
         let (index, _) = result.first_error().unwrap();
         assert_eq!(index, 1);
+        assert_eq!(result.failed_cells(), vec![1]);
         assert_eq!(cache.len(), 2, "failed cells must not be memoised");
+    }
+
+    #[test]
+    fn profiled_runs_record_cell_seconds_and_rank_slowest() {
+        let _serial = rlckit_telemetry::test_support::lock();
+        let _on = rlckit_telemetry::Collector::enable();
+        let result =
+            run_sweep(&small_spec(), &DelayModelEvaluator, &SweepOptions::with_threads(2)).unwrap();
+        assert_eq!(result.cell_seconds.len(), 6, "every computed cell is timed");
+        assert!(result.cell_seconds.windows(2).all(|w| w[0].0 < w[1].0), "sorted by index");
+        assert!(result.cell_seconds.iter().all(|&(_, s)| s >= 0.0));
+        let slow = result.slowest_cells(3);
+        assert_eq!(slow.len(), 3);
+        assert!(slow[0].1 >= slow[1].1 && slow[1].1 >= slow[2].1, "slowest first");
+        assert!(result.slowest_cells(100).len() == 6, "k larger than the grid is clamped");
+        assert!(result.failed_cells().is_empty());
+    }
+
+    #[test]
+    fn unprofiled_runs_carry_no_timing_or_health() {
+        let _serial = rlckit_telemetry::test_support::lock();
+        let _off = rlckit_telemetry::Collector::disable();
+        let result =
+            run_sweep(&small_spec(), &DelayModelEvaluator, &SweepOptions::with_threads(2)).unwrap();
+        assert!(result.cell_seconds.is_empty());
+        assert!(result.health.is_empty());
+        assert!(result.slowest_cells(5).is_empty());
     }
 
     #[test]

@@ -12,12 +12,15 @@
 //!   "spans":      [{"name": …, "count": …, "total_s": …, "self_s": …, "min_s": …, "max_s": …}],
 //!   "counters":   [{"name": …, "value": …}],
 //!   "gauges":     [{"name": …, "value": …}],
-//!   "histograms": [{"name": …, "count": …, "sum_s": …, "buckets": [{"le_s": …, "count": …}]}]
+//!   "histograms": [{"name": …, "count": …, "sum_s": …, "buckets": [{"le_s": …, "count": …}]}],
+//!   "health":     {"info": …, "warning": …, "error": …,
+//!                  "sites": [{"site": …, "metric": …, "severity": …, "count": …, "worst": …, "threshold": …}]}
 //! }
 //! ```
 
 use std::fmt::Write as _;
 
+use crate::health::{self, HealthReport};
 use crate::metrics;
 
 /// Frozen statistics of one span path.
@@ -65,6 +68,8 @@ pub struct ProfileSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Aggregated numerical-health events, rows sorted by `(site, metric)`.
+    pub health: HealthReport,
 }
 
 /// Builds a snapshot from the live registry.
@@ -94,6 +99,7 @@ pub(crate) fn snapshot() -> ProfileSnapshot {
         counters: metrics::counters_snapshot(),
         gauges: metrics::gauges_snapshot(),
         histograms,
+        health: health::snapshot_report(),
     }
 }
 
@@ -178,7 +184,27 @@ impl ProfileSnapshot {
                 comma(i, self.histograms.len())
             );
         }
-        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(
+            out,
+            "  \"health\": {{\"info\": {}, \"warning\": {}, \"error\": {}, \"sites\": [",
+            self.health.info, self.health.warning, self.health.error
+        );
+        for (i, site) in self.health.sites.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"site\": \"{}\", \"metric\": \"{}\", \"severity\": \"{}\", \
+                 \"count\": {}, \"worst\": {}, \"threshold\": {}}}{}",
+                escape_json(site.site),
+                escape_json(site.metric),
+                site.severity.name(),
+                site.count,
+                json_number(site.worst_value),
+                json_number(site.threshold),
+                comma(i, self.health.sites.len())
+            );
+        }
+        let _ = writeln!(out, "  ]}}");
         let _ = write!(out, "}}");
         out
     }
@@ -255,6 +281,25 @@ impl ProfileSnapshot {
                 );
             }
         }
+        if !self.health.is_empty() {
+            let _ = writeln!(
+                out,
+                "health: {} info / {} warning / {} error",
+                self.health.info, self.health.warning, self.health.error
+            );
+            for site in self.health.worst_sites(10) {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {} {}: worst {:.3e} (threshold {:.3e}, {} event(s))",
+                    site.severity.name(),
+                    site.site,
+                    site.metric,
+                    site.worst_value,
+                    site.threshold,
+                    site.count
+                );
+            }
+        }
         out
     }
 }
@@ -313,6 +358,7 @@ mod tests {
             gauge_set("export.gauge", 2.25);
             observe_seconds("export.hist", 1e-6);
             observe_seconds("export.hist", 3e-3);
+            crate::check_metric("export.site", "backward_error", 0.5, 1.0, 2.0);
         }
         Collector::snapshot()
     }
@@ -330,6 +376,11 @@ mod tests {
         assert!(json.contains("\"name\": \"export.counter\", \"value\": 5"));
         assert!(json.contains("\"name\": \"export.gauge\", \"value\": 2.25"));
         assert!(json.contains("\"le_s\""));
+        assert!(json.contains("\"health\": {\"info\": 1, \"warning\": 0, \"error\": 0"));
+        assert!(json.contains(
+            "{\"site\": \"export.site\", \"metric\": \"backward_error\", \
+             \"severity\": \"info\", \"count\": 1, \"worst\": 0.5, \"threshold\": 1}"
+        ));
         assert_eq!(ProfileSnapshot::file_name("unit"), "PROFILE_unit.json");
         // Escaping mirrors the perf-trajectory writer.
         assert_eq!(escape_json("a\n\"b\"\u{1}"), "a\\n\\\"b\\\"\\u0001");

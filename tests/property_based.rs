@@ -334,6 +334,9 @@ proptest! {
 // permutation with fill competitive with classical minimum degree.
 // ---------------------------------------------------------------------------
 
+use rlckit::numeric::banded::BandedLuFactor;
+use rlckit::numeric::condition;
+use rlckit::numeric::lu::LuFactor;
 use rlckit::numeric::sparse::{
     approximate_minimum_degree, minimum_degree, SparseLuFactor, SparseSymbolic,
 };
@@ -495,6 +498,80 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn condest_tracks_the_exact_condition_number(
+        family in 0.0f64..3.0,
+        size_f in 6.0f64..24.0,
+        cs_scale in 0.3f64..3.0,
+    ) {
+        // The Hager–Higham estimate reuses the LU factors, so it is a lower
+        // bound on the exact 1-norm condition number and — on these
+        // diagonally-dominated MNA systems — must land within a factor of 10
+        // of it, on every kernel. The exact value comes from the brute-force
+        // inverse: n dense solves, one per unit vector.
+        let mna = family_mna(family as usize, size_f as usize);
+        let n = mna.dim();
+        let band = mna.assemble_real(1.0, cs_scale * 1e10);
+        let dense = band.to_dense();
+        let dense_lu = LuFactor::new(&dense).expect("family system factors");
+        let mut inv_norm_one = 0.0f64;
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = dense_lu.solve(&e);
+            inv_norm_one = inv_norm_one.max(col.iter().map(|v| v.abs()).sum());
+        }
+        let exact = dense.norm_one() * inv_norm_one;
+        let csc = mna.assemble_csc_real(1.0, cs_scale * 1e10);
+        let estimates = [
+            ("dense", dense_lu.condest(dense.norm_one())),
+            ("banded", BandedLuFactor::new(&band).expect("factors").condest(dense.norm_one())),
+            (
+                "sparse",
+                SparseLuFactor::factor(&csc, mna.sparse_symbolic())
+                    .expect("factors")
+                    .condest(csc.norm_one()),
+            ),
+        ];
+        for (kernel, est) in estimates {
+            prop_assert!(
+                est <= exact * (1.0 + 1e-9),
+                "{kernel}: estimate {est} exceeds the exact condition number {exact}"
+            );
+            prop_assert!(
+                est >= exact / 10.0,
+                "{kernel}: estimate {est} more than 10x below the exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn solves_stay_backward_stable_across_backends(
+        family in 0.0f64..3.0,
+        size_f in 6.0f64..30.0,
+        rhs_seed in 0.1f64..10.0,
+    ) {
+        // The componentwise backward error the health monitors report is
+        // computed from the retained matrix; here the same formula is applied
+        // directly to every backend's solution. Partial-pivoted LU on these
+        // well-conditioned systems must stay near machine precision — the
+        // 1e-12 ceiling is ~4500 ulps of headroom.
+        let mna = family_mna(family as usize, size_f as usize);
+        let n = mna.dim();
+        let a = mna.assemble_csc_real(1.0, 1e10);
+        let rhs: Vec<f64> = (0..n).map(|i| rhs_seed * (1.0 + (i % 7) as f64)).collect();
+        for backend in BACKENDS {
+            let factor = factor_real(&mna, 1.0, 1e10, backend, "backward-error test")
+                .expect("family system factors");
+            let x = factor.solve(&rhs);
+            let be = condition::backward_error(a.norm_inf(), &a.mul_vec(&x), &x, &rhs);
+            prop_assert!(
+                be <= 1e-12,
+                "{backend:?}: backward error {be} above 1e-12 on a {n}-dim system"
+            );
         }
     }
 

@@ -2,10 +2,13 @@
 //! any numerical output, bit for bit.
 //!
 //! Each property runs the same workload twice — once with profiling forced
-//! off, once with the [`Collector`] enabled — and compares the results via
-//! `f64::to_bits`, so even a sign-of-zero or NaN-payload difference fails.
-//! The workloads cover the three instrumented layers: the sparse LU kernel,
-//! the transient stepping loop, and the parameter-sweep executor.
+//! off, once with the [`Collector`] enabled together with timeline tracing
+//! (which also arms every numerical-health monitor: backward-error checks,
+//! condition estimates, pivot-growth and step-residual spot checks) — and
+//! compares the results via `f64::to_bits`, so even a sign-of-zero or
+//! NaN-payload difference fails. The workloads cover the three instrumented
+//! layers: the sparse LU kernel, the transient stepping loop, and the
+//! parameter-sweep executor.
 //!
 //! This lives in its own integration-test binary on purpose: the collector
 //! state is process-global, and here nothing else races it.
@@ -16,15 +19,20 @@ use rlckit::circuit::transient::{run_transient, TransientOptions};
 use rlckit::numeric::sparse::{CscMatrix, SparseLuFactor};
 use rlckit::prelude::*;
 
-/// Runs `workload` once with profiling off and once with it on, returning
-/// both outputs for comparison.
+/// Runs `workload` once with profiling off and once with profiling, health
+/// monitoring and timeline tracing all on, returning both outputs for
+/// comparison.
 fn off_and_on<T>(mut workload: impl FnMut() -> T) -> (T, T) {
     let off = {
         let _collector = Collector::disable();
+        let _trace = Collector::disable_trace();
         workload()
     };
     let on = {
+        // `enable` arms the profile/health layer; `enable_trace` additionally
+        // records begin/end timeline events for every span.
         let _collector = Collector::enable();
+        let _trace = Collector::enable_trace();
         workload()
     };
     (off, on)
