@@ -33,7 +33,11 @@
 //!   backend;
 //! * [`mesh`] — gate-driven regular RC(L) grids ([`mesh::MeshSpec`]), the
 //!   power-grid/clock-mesh workload that forces genuine fill and scales the
-//!   sparse kernel to 10⁵⁺ unknowns.
+//!   sparse kernel to 10⁵⁺ unknowns;
+//! * [`pattern_cache`] — opt-in process-global cache sharing symbolic
+//!   analyses and frozen-pivot factor templates across systems whose MNA
+//!   sparsity pattern matches (the cross-request fast path of the
+//!   `rlckit-server` daemon).
 //!
 //! # Example: 50% delay of a driven RLC line
 //!
@@ -79,6 +83,7 @@ pub mod ladder;
 pub mod mesh;
 pub mod mna;
 pub mod netlist;
+pub mod pattern_cache;
 pub mod solve;
 pub mod source;
 pub mod state_space;

@@ -69,8 +69,10 @@ pub struct MnaSystem {
     ku: usize,
     /// Fill-reducing symbolic phase of the union pattern, computed on first
     /// sparse use and shared by every sparse factorisation of this system
-    /// (DC, transient, AC frequencies).
-    sparse_symbolic: std::sync::OnceLock<SparseSymbolic>,
+    /// (DC, transient, AC frequencies). Behind an [`std::sync::Arc`] so the
+    /// process-global [`crate::pattern_cache`] can share one analysis across
+    /// *different* systems with the same pattern.
+    sparse_symbolic: std::sync::OnceLock<std::sync::Arc<SparseSymbolic>>,
     /// Stamp→CSC scatter map of the union pattern, computed on first CSC
     /// assembly; later assemblies only write values.
     csc_assembly: std::sync::OnceLock<CscAssembly>,
@@ -225,11 +227,29 @@ impl MnaSystem {
     /// one pattern.
     pub fn sparse_symbolic(&self) -> &SparseSymbolic {
         self.sparse_symbolic.get_or_init(|| {
-            SparseSymbolic::analyze(
-                self.dim,
-                self.g_stamps.iter().chain(self.c_stamps.iter()).map(|&(r, c, _)| (r, c)),
-            )
+            let analyze = || {
+                SparseSymbolic::analyze(
+                    self.dim,
+                    self.g_stamps.iter().chain(self.c_stamps.iter()).map(|&(r, c, _)| (r, c)),
+                )
+            };
+            if crate::pattern_cache::enabled() {
+                let map = self.csc_assembly();
+                crate::pattern_cache::shared_symbolic(self.dim, &map.col_ptr, &map.row_idx, analyze)
+            } else {
+                std::sync::Arc::new(analyze())
+            }
         })
+    }
+
+    /// A stable 64-bit content hash of this system's union sparsity pattern
+    /// (the shared CSC structure behind every `gs·G + cs·C` assembly) —
+    /// the key under which [`crate::pattern_cache`] shares symbolic analyses
+    /// and factor templates across systems, and a convenient request-level
+    /// cache key for services batching many same-topology evaluations.
+    pub fn pattern_key(&self) -> u64 {
+        let map = self.csc_assembly();
+        rlckit_numeric::sparse::csc_pattern_key(self.dim, &map.col_ptr, &map.row_idx)
     }
 
     /// Number of stamp entries in the union of `G` and `C` (an upper bound on

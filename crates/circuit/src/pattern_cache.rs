@@ -1,0 +1,584 @@
+//! Cross-request, pattern-keyed factorisation cache.
+//!
+//! Long-running services (the `rlckit-server` daemon) see request streams in
+//! which most scenarios differ only in element *values* — wire resistance,
+//! inductance, driver sizing — while the MNA sparsity pattern repeats
+//! exactly. Factoring such a stream from scratch wastes the two reusable
+//! artefacts the sparse kernel already produces:
+//!
+//! * the **symbolic analysis** ([`SparseSymbolic`]): AMD ordering plus fill
+//!   pattern, a pure function of the pattern alone;
+//! * a **numeric factor template** ([`SparseLuFactor`]): frozen pivot
+//!   sequence that a value-only [`SparseLuFactor::refactor`] reuses at a
+//!   fraction of the cost of a fresh left-looking factorisation.
+//!
+//! This module keeps a process-global registry of both, keyed by the stable
+//! [`CscMatrix::pattern_key`] content hash and **verified** against the full
+//! column-pointer/row-index arrays on every hit (a 64-bit hash collision
+//! therefore degrades to a miss, never to a wrong answer). Three hit tiers:
+//!
+//! 1. **value hit** — pattern and [`CscMatrix::value_key`] both match the
+//!    stored template: the cached factor is returned verbatim. The result is
+//!    *bit-identical* to the factorisation that seeded the template.
+//! 2. **refactor hit** — pattern matches, values differ: the template is
+//!    cloned and value-only refactored against the new matrix. Pivots are
+//!    frozen from the seeding factorisation, so the result agrees with a
+//!    cold factorisation to working accuracy (the workspace's kernels assert
+//!    `1e-12` relative closeness) but not necessarily to the last bit.
+//! 3. **miss** — no entry (or refactor rejected a frozen pivot): a fresh
+//!    factorisation runs against the shared (or newly analysed) symbolic
+//!    object, and its factor seeds the template for subsequent requests.
+//!
+//! The cache is **disabled by default** — every existing analysis behaves
+//! exactly as before — and switched on by an RAII [`PatternCacheGuard`], the
+//! same scoped-activation shape as `rlckit_telemetry::Collector`. The
+//! registry is bounded by an approximate byte budget with least-recently-used
+//! eviction; hits, misses, refactors and evictions are tracked both in the
+//! always-on [`Stats`] and as `circuit.pattern_*` telemetry counters when
+//! profiling is active.
+//!
+//! Concurrency: the global lock is held only for registry lookups and
+//! insertions, never across a factorisation or refactorisation, so worker
+//! threads factoring different matrices do not serialise on the cache. When
+//! several threads miss the same pattern at once, the first insertion wins
+//! and later ones are dropped — the template is stable once seeded.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use rlckit_numeric::lu::FactorizeError;
+use rlckit_numeric::sparse::{csc_pattern_key, CscMatrix, SparseLuFactor, SparseSymbolic};
+
+/// Default approximate byte budget for cached symbolic + factor storage.
+pub const DEFAULT_BUDGET_BYTES: u64 = 256 * 1024 * 1024;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+/// Returns `true` when the pattern cache is active. One relaxed atomic load,
+/// so the disabled hot path costs nothing measurable.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn registry() -> MutexGuard<'static, Option<Registry>> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One cached pattern: the verified structure arrays, the shared symbolic
+/// analysis, and (once a factorisation has completed) a numeric template.
+struct Entry {
+    dim: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    symbolic: Arc<SparseSymbolic>,
+    /// `(value_key, factor)` of the factorisation that seeded the template.
+    template: Option<(u64, SparseLuFactor<f64>)>,
+    /// Monotonic recency stamp for LRU eviction.
+    stamp: u64,
+}
+
+impl Entry {
+    /// Approximate retained bytes: pattern arrays, symbolic fill estimate and
+    /// the L/U factor storage (index + value per entry).
+    fn approx_bytes(&self) -> u64 {
+        let pattern = (self.col_ptr.len() + self.row_idx.len()) * 8;
+        let factor =
+            self.template.as_ref().map_or(0, |(_, f)| (f.l_nnz() + f.u_nnz()) * 16 + f.dim() * 24);
+        let symbolic = self.dim * 16;
+        (pattern + factor + symbolic) as u64
+    }
+}
+
+/// Cumulative cache statistics, exposed independently of the telemetry layer
+/// so a service can report them without profiling overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Lookups answered verbatim from a value-key match (bit-identical).
+    pub value_hits: u64,
+    /// Lookups answered by value-only refactorisation of a cached template.
+    pub refactor_hits: u64,
+    /// Lookups that ran a fresh factorisation (no entry, or no template).
+    pub misses: u64,
+    /// Refactor attempts that failed on a frozen pivot and fell back to a
+    /// fresh factorisation (counted *in addition to* the resulting miss).
+    pub fallbacks: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Symbolic analyses answered by a cached [`SparseSymbolic`].
+    pub symbolic_hits: u64,
+}
+
+struct Registry {
+    entries: HashMap<u64, Entry>,
+    budget_bytes: u64,
+    next_stamp: u64,
+    stats: Stats,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            budget_bytes: DEFAULT_BUDGET_BYTES,
+            next_stamp: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.stamp = stamp;
+        }
+    }
+
+    /// Looks up `key` and verifies the stored pattern arrays match; a hash
+    /// collision is reported as absent.
+    fn verified(&mut self, key: u64, dim: usize, col_ptr: &[usize], row_idx: &[usize]) -> bool {
+        match self.entries.get(&key) {
+            Some(e) => e.dim == dim && e.col_ptr == col_ptr && e.row_idx == row_idx,
+            None => false,
+        }
+    }
+
+    /// Evicts least-recently-used entries until the approximate total is
+    /// within budget. Ties (impossible with monotonic stamps, but cheap to
+    /// make deterministic) break on the smaller key.
+    fn evict_to_budget(&mut self) {
+        loop {
+            let total: u64 = self.entries.values().map(Entry::approx_bytes).sum();
+            if total <= self.budget_bytes || self.entries.len() <= 1 {
+                return;
+            }
+            let victim = self.entries.iter().min_by_key(|(k, e)| (e.stamp, **k)).map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.stats.evictions += 1;
+                    rlckit_telemetry::counter_add("circuit.pattern_evictions", 1);
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// RAII guard activating the process-global pattern cache for its lifetime.
+///
+/// Dropping the guard restores the previous activation state (guards nest)
+/// but keeps the registry contents, so a re-enabled cache is warm. Use
+/// [`clear`] to drop the cached factors as well.
+#[derive(Debug)]
+pub struct PatternCacheGuard {
+    previous: bool,
+}
+
+impl PatternCacheGuard {
+    /// Switches the cache on, returning a guard restoring the prior state.
+    #[must_use]
+    pub fn enable() -> Self {
+        let previous = ENABLED.swap(true, Ordering::Relaxed);
+        Self { previous }
+    }
+
+    /// Switches the cache off, returning a guard restoring the prior state.
+    #[must_use]
+    pub fn disable() -> Self {
+        let previous = ENABLED.swap(false, Ordering::Relaxed);
+        Self { previous }
+    }
+}
+
+impl Drop for PatternCacheGuard {
+    fn drop(&mut self) {
+        ENABLED.store(self.previous, Ordering::Relaxed);
+    }
+}
+
+/// Drops every cached symbolic object and factor template and resets the
+/// recency clock. Statistics are preserved (see [`reset_stats`]).
+pub fn clear() {
+    if let Some(reg) = registry().as_mut() {
+        reg.entries.clear();
+        reg.next_stamp = 0;
+    }
+}
+
+/// Zeroes the cumulative [`Stats`] counters.
+pub fn reset_stats() {
+    if let Some(reg) = registry().as_mut() {
+        reg.stats = Stats::default();
+    }
+}
+
+/// A copy of the cumulative cache statistics.
+pub fn stats() -> Stats {
+    registry().as_ref().map(|r| r.stats).unwrap_or_default()
+}
+
+/// Number of distinct patterns currently cached.
+pub fn len() -> usize {
+    registry().as_ref().map_or(0, |r| r.entries.len())
+}
+
+/// Sets the approximate byte budget (default [`DEFAULT_BUDGET_BYTES`]) and
+/// immediately evicts down to it.
+pub fn set_budget_bytes(budget: u64) {
+    let mut guard = registry();
+    let reg = guard.get_or_insert_with(Registry::new);
+    reg.budget_bytes = budget;
+    reg.evict_to_budget();
+}
+
+/// Returns the shared symbolic analysis for the pattern `(dim, col_ptr,
+/// row_idx)`, running `analyze` and caching the result on first sight.
+///
+/// Callers holding a raw assembly scatter map (the MNA layer) use this to
+/// share one AMD ordering across every system with the same pattern. When
+/// the cache is disabled this simply wraps `analyze()` in an [`Arc`].
+pub fn shared_symbolic(
+    dim: usize,
+    col_ptr: &[usize],
+    row_idx: &[usize],
+    analyze: impl FnOnce() -> SparseSymbolic,
+) -> Arc<SparseSymbolic> {
+    if !enabled() {
+        return Arc::new(analyze());
+    }
+    let key = csc_pattern_key(dim, col_ptr, row_idx);
+    {
+        let mut guard = registry();
+        let reg = guard.get_or_insert_with(Registry::new);
+        if reg.verified(key, dim, col_ptr, row_idx) {
+            reg.touch(key);
+            reg.stats.symbolic_hits += 1;
+            rlckit_telemetry::counter_add("circuit.pattern_symbolic_hits", 1);
+            let entry = reg.entries.get(&key).expect("verified entry present");
+            return Arc::clone(&entry.symbolic);
+        }
+    }
+    // Analyse outside the lock: symbolic analysis is a deterministic pure
+    // function of the pattern, so concurrent duplicates are equal and the
+    // first insertion winning keeps every consumer coherent.
+    let symbolic = Arc::new(analyze());
+    let mut guard = registry();
+    let reg = guard.get_or_insert_with(Registry::new);
+    if reg.verified(key, dim, col_ptr, row_idx) {
+        reg.touch(key);
+        let entry = reg.entries.get(&key).expect("verified entry present");
+        return Arc::clone(&entry.symbolic);
+    }
+    let stamp = reg.next_stamp;
+    reg.next_stamp += 1;
+    reg.entries.insert(
+        key,
+        Entry {
+            dim,
+            col_ptr: col_ptr.to_vec(),
+            row_idx: row_idx.to_vec(),
+            symbolic: Arc::clone(&symbolic),
+            template: None,
+            stamp,
+        },
+    );
+    reg.evict_to_budget();
+    symbolic
+}
+
+/// What the registry probe decided before any numeric work runs.
+enum Probe {
+    /// Pattern and value keys both matched: the stored factor verbatim.
+    ValueHit(SparseLuFactor<f64>),
+    /// Pattern matched with different values: a template clone to refactor.
+    Refactor(SparseLuFactor<f64>),
+    /// No usable template; factor fresh (against the cached symbolic when
+    /// the pattern itself was known).
+    Miss,
+}
+
+/// Factorises `a` through the cache: verbatim on a value hit, value-only
+/// refactorisation on a pattern hit, fresh factorisation (seeding the
+/// template) on a miss. `symbolic` is the caller's already-shared analysis
+/// for `a`'s pattern — the miss path uses it directly, so no duplicate
+/// analysis happens even on a cold cache.
+///
+/// # Errors
+///
+/// Propagates [`FactorizeError`] from the fresh factorisation. A refactor
+/// rejected by a frozen pivot is **not** an error: it falls back to the
+/// fresh path (counted in [`Stats::fallbacks`]).
+pub fn factor_real(
+    a: &CscMatrix<f64>,
+    symbolic: &SparseSymbolic,
+) -> Result<SparseLuFactor<f64>, FactorizeError> {
+    if !enabled() {
+        return SparseLuFactor::factor(a, symbolic);
+    }
+    let key = a.pattern_key();
+    let value_key = a.value_key();
+    let probe = {
+        let mut guard = registry();
+        let reg = guard.get_or_insert_with(Registry::new);
+        if reg.verified(key, a.dim(), a.col_ptr_slice(), a.row_idx_slice()) {
+            reg.touch(key);
+            let entry = reg.entries.get(&key).expect("verified entry present");
+            match &entry.template {
+                Some((vk, factor)) if *vk == value_key => {
+                    reg.stats.value_hits += 1;
+                    rlckit_telemetry::counter_add("circuit.pattern_value_hits", 1);
+                    Probe::ValueHit(factor.clone())
+                }
+                Some((_, factor)) => Probe::Refactor(factor.clone()),
+                None => Probe::Miss,
+            }
+        } else {
+            Probe::Miss
+        }
+    };
+    match probe {
+        Probe::ValueHit(factor) => Ok(factor),
+        Probe::Refactor(mut factor) => match factor.refactor(a) {
+            Ok(()) => {
+                let mut guard = registry();
+                let reg = guard.get_or_insert_with(Registry::new);
+                reg.stats.refactor_hits += 1;
+                rlckit_telemetry::counter_add("circuit.pattern_refactor_hits", 1);
+                Ok(factor)
+            }
+            Err(_) => {
+                {
+                    let mut guard = registry();
+                    let reg = guard.get_or_insert_with(Registry::new);
+                    reg.stats.fallbacks += 1;
+                    rlckit_telemetry::counter_add("circuit.pattern_fallbacks", 1);
+                }
+                factor_fresh(a, symbolic, key, value_key)
+            }
+        },
+        Probe::Miss => factor_fresh(a, symbolic, key, value_key),
+    }
+}
+
+/// The miss path: factor outside the lock, then seed the entry's template if
+/// nobody beat us to it (first writer wins, so the template — and therefore
+/// the value-hit guarantee — is stable once set).
+fn factor_fresh(
+    a: &CscMatrix<f64>,
+    symbolic: &SparseSymbolic,
+    key: u64,
+    value_key: u64,
+) -> Result<SparseLuFactor<f64>, FactorizeError> {
+    let factor = SparseLuFactor::factor(a, symbolic)?;
+    let mut guard = registry();
+    let reg = guard.get_or_insert_with(Registry::new);
+    reg.stats.misses += 1;
+    rlckit_telemetry::counter_add("circuit.pattern_misses", 1);
+    if reg.verified(key, a.dim(), a.col_ptr_slice(), a.row_idx_slice()) {
+        reg.touch(key);
+        let entry = reg.entries.get_mut(&key).expect("verified entry present");
+        if entry.template.is_none() {
+            entry.template = Some((value_key, factor.clone()));
+        }
+    } else {
+        let stamp = reg.next_stamp;
+        reg.next_stamp += 1;
+        reg.entries.insert(
+            key,
+            Entry {
+                dim: a.dim(),
+                col_ptr: a.col_ptr_slice().to_vec(),
+                row_idx: a.row_idx_slice().to_vec(),
+                symbolic: Arc::new(symbolic.clone()),
+                template: Some((value_key, factor.clone())),
+                stamp,
+            },
+        );
+    }
+    reg.evict_to_budget();
+    Ok(factor)
+}
+
+/// Serialisation helper for tests that toggle the process-global cache,
+/// mirroring `rlckit_telemetry::test_support`: activation and registry are
+/// shared process state, so such tests must not interleave — neither with
+/// each other nor with tolerance-sensitive solver tests running in the same
+/// binary.
+pub mod test_support {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Acquires the process-wide pattern-cache test lock (poisoning ignored
+    /// so one panicked test cannot cascade).
+    pub fn lock() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mna::MnaSystem;
+    use crate::netlist::Circuit;
+    use crate::solve::factor_real as solve_factor_real;
+    use crate::source::SourceWaveform;
+    use rlckit_numeric::solver::SolverBackend;
+    use rlckit_units::{Capacitance, Inductance, Resistance};
+
+    /// An RLC ladder: a fixed topology whose MNA pattern is independent of
+    /// the per-section resistance, so different `r_per` values share a key.
+    fn ladder(r_per: f64) -> MnaSystem {
+        let mut c = Circuit::new();
+        let gnd = c.ground();
+        let input = c.add_node();
+        c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+        let mut prev = input;
+        for _ in 0..40 {
+            let mid = c.add_node();
+            let next = c.add_node();
+            c.add_resistor(prev, mid, Resistance::from_ohms(r_per)).unwrap();
+            c.add_inductor(mid, next, Inductance::from_picohenries(12.0)).unwrap();
+            c.add_capacitor(next, gnd, Capacitance::from_femtofarads(9.0)).unwrap();
+            prev = next;
+        }
+        MnaSystem::build(&c).unwrap()
+    }
+
+    #[test]
+    fn disabled_cache_records_nothing() {
+        let _serial = test_support::lock();
+        let _off = PatternCacheGuard::disable();
+        clear();
+        reset_stats();
+        let mna = ladder(25.0);
+        let a = mna.assemble_csc_real(1.0, 0.0);
+        let f = factor_real(&a, mna.sparse_symbolic()).expect("factors");
+        assert_eq!(f.dim(), a.dim());
+        assert_eq!(len(), 0);
+        assert_eq!(stats(), Stats::default());
+    }
+
+    #[test]
+    fn value_hits_are_bit_identical_and_refactor_hits_are_close() {
+        let _serial = test_support::lock();
+        let _on = PatternCacheGuard::enable();
+        clear();
+        reset_stats();
+
+        let mna = ladder(25.0);
+        let a = mna.assemble_csc_real(1.0, 0.0);
+        let sym = mna.sparse_symbolic();
+
+        let cold = factor_real(&a, sym).expect("cold factor");
+        assert_eq!(stats().misses, 1);
+        assert_eq!(len(), 1);
+
+        // Same pattern, same values: the template verbatim, bit-identical.
+        let again = factor_real(&a, sym).expect("value hit");
+        assert_eq!(stats().value_hits, 1);
+        let b = vec![1.0; a.dim()];
+        let x_cold = cold.solve(&b);
+        let x_again = again.solve(&b);
+        for (c, w) in x_cold.iter().zip(&x_again) {
+            assert_eq!(c.to_bits(), w.to_bits(), "value hit must be bit-identical");
+        }
+
+        // Same pattern, different values: refactor hit, close to a cold
+        // factorisation of the same matrix.
+        let mna2 = ladder(40.0);
+        let a2 = mna2.assemble_csc_real(1.0, 0.0);
+        assert_eq!(a2.pattern_key(), a.pattern_key(), "ladders share a pattern");
+        let warm = factor_real(&a2, mna2.sparse_symbolic()).expect("refactor hit");
+        assert_eq!(stats().refactor_hits, 1);
+        let fresh = SparseLuFactor::factor(&a2, mna2.sparse_symbolic()).expect("fresh");
+        let x_warm = warm.solve(&b);
+        let x_fresh = fresh.solve(&b);
+        for (w, f) in x_warm.iter().zip(&x_fresh) {
+            let scale = f.abs().max(1.0);
+            assert!(
+                (w - f).abs() <= 1e-12 * scale,
+                "refactor hit must agree with a cold factorisation: {w} vs {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_analysis_is_shared_across_matching_patterns() {
+        let _serial = test_support::lock();
+        let _on = PatternCacheGuard::enable();
+        clear();
+        reset_stats();
+
+        let first = ladder(25.0);
+        let second = ladder(75.0);
+        let s1 = first.sparse_symbolic();
+        let s2 = second.sparse_symbolic();
+        assert_eq!(s1, s2, "same pattern must share one analysis");
+        assert!(stats().symbolic_hits >= 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_pattern() {
+        let _serial = test_support::lock();
+        let _on = PatternCacheGuard::enable();
+        clear();
+        reset_stats();
+        // Budget small enough that two ladder factors cannot coexist.
+        set_budget_bytes(1);
+
+        let mna = ladder(25.0);
+        let a = mna.assemble_csc_real(1.0, 0.0);
+        factor_real(&a, mna.sparse_symbolic()).expect("first pattern");
+        assert_eq!(len(), 1, "a single entry is always retained");
+
+        // A second, different pattern forces the first out.
+        let mna_c = {
+            let mut c = Circuit::new();
+            let gnd = c.ground();
+            let input = c.add_node();
+            c.add_voltage_source(input, gnd, SourceWaveform::unit_step()).unwrap();
+            let mut prev = input;
+            for _ in 0..50 {
+                let next = c.add_node();
+                c.add_resistor(prev, next, Resistance::from_ohms(10.0)).unwrap();
+                c.add_capacitor(next, gnd, Capacitance::from_femtofarads(5.0)).unwrap();
+                prev = next;
+            }
+            MnaSystem::build(&c).unwrap()
+        };
+        let a_c = mna_c.assemble_csc_real(1.0, 0.0);
+        assert_ne!(a_c.pattern_key(), a.pattern_key());
+        factor_real(&a_c, mna_c.sparse_symbolic()).expect("second pattern");
+        assert_eq!(len(), 1, "budget of one byte keeps only the newest entry");
+        assert!(stats().evictions >= 1);
+        set_budget_bytes(DEFAULT_BUDGET_BYTES);
+        clear();
+    }
+
+    #[test]
+    fn solve_path_routes_through_the_cache_when_enabled() {
+        let _serial = test_support::lock();
+        let _on = PatternCacheGuard::enable();
+        clear();
+        reset_stats();
+
+        let mna = ladder(25.0);
+        let first = solve_factor_real(&mna, 1.0, 0.0, SolverBackend::Sparse, "test")
+            .expect("first factorisation");
+        let second = solve_factor_real(&mna, 1.0, 0.0, SolverBackend::Sparse, "test")
+            .expect("second factorisation");
+        assert!(stats().misses >= 1);
+        assert!(stats().value_hits >= 1, "identical system must value-hit");
+        let b = vec![1.0; mna.dim()];
+        let x1 = first.solve(&b);
+        let x2 = second.solve(&b);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        clear();
+    }
+}

@@ -207,7 +207,10 @@ pub fn factor_real(
 ) -> Result<FactoredMna<f64>, CircuitError> {
     let factored = if resolve_backend(mna, backend) == ResolvedBackend::Sparse {
         let a = mna.assemble_csc_real(gs, cs);
-        let factor = SparseLuFactor::factor(&a, mna.sparse_symbolic())
+        // When the process-global pattern cache is active (it is disabled by
+        // default), this both consults and seeds it; otherwise it is exactly
+        // a fresh `SparseLuFactor::factor` against the shared symbolic.
+        let factor = crate::pattern_cache::factor_real(&a, mna.sparse_symbolic())
             .map_err(|_| CircuitError::SingularSystem { stage })?;
         FactoredMna { solver: FactoredSolver::from_sparse_with_matrix(factor, &a), perm: None }
     } else {

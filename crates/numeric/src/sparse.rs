@@ -220,6 +220,85 @@ impl<T: Scalar> CscMatrix<T> {
             self.col_rows(j).iter().zip(self.col_values(j)).map(move |(&i, &v)| (i, j, v))
         })
     }
+
+    /// The column-pointer array of the CSC structure (`n + 1` entries).
+    #[inline]
+    pub fn col_ptr_slice(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row-index array of the CSC structure, parallel per column to the
+    /// stored values.
+    #[inline]
+    pub fn row_idx_slice(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// A stable 64-bit FNV-1a content hash of the **sparsity pattern alone**
+    /// (dimension, column pointers, row indices — no values).
+    ///
+    /// Two matrices share a pattern key exactly when they share their stored
+    /// structure, which is the precondition for reusing a
+    /// [`SparseSymbolic`] and for value-only
+    /// [`SparseLuFactor::refactor`]-style factor reuse. The hash is
+    /// process-independent (no randomised state), so it can key cross-run
+    /// caches. Equivalent to [`csc_pattern_key`] over this matrix's arrays.
+    pub fn pattern_key(&self) -> u64 {
+        csc_pattern_key(self.n, &self.col_ptr, &self.row_idx)
+    }
+}
+
+/// The stable pattern hash behind [`CscMatrix::pattern_key`], usable by
+/// callers that hold raw CSC structure arrays without a materialised matrix
+/// (e.g. a cached assembly scatter map).
+pub fn csc_pattern_key(n: usize, col_ptr: &[usize], row_idx: &[usize]) -> u64 {
+    let mut h = PatternHash::new();
+    h.write_u64(n as u64);
+    for &p in col_ptr {
+        h.write_u64(p as u64);
+    }
+    for &r in row_idx {
+        h.write_u64(r as u64);
+    }
+    h.finish()
+}
+
+impl CscMatrix<f64> {
+    /// A stable 64-bit FNV-1a hash of the stored **values' bit patterns**
+    /// (pattern not included). Combined with [`CscMatrix::pattern_key`] it
+    /// identifies a matrix bit-exactly: same pattern key and same value key
+    /// means byte-identical storage.
+    pub fn value_key(&self) -> u64 {
+        let mut h = PatternHash::new();
+        for &v in &self.values {
+            h.write_u64(v.to_bits());
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a hasher behind [`CscMatrix::pattern_key`] /
+/// [`CscMatrix::value_key`] — deliberately independent of `std`'s randomised
+/// `DefaultHasher` so keys are stable across processes and runs.
+struct PatternHash {
+    state: u64,
+}
+
+impl PatternHash {
+    fn new() -> Self {
+        Self { state: 0xCBF2_9CE4_8422_2325 }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(0x1_0000_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
 }
 
 /// Computes a fill-reducing elimination ordering of a symmetric sparsity
@@ -1472,6 +1551,29 @@ mod tests {
         for (w, fr) in xw.iter().zip(xf.iter()) {
             assert!((*w - *fr).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn pattern_and_value_keys_separate_structure_from_values() {
+        let a = grid_matrix(6, 5, 0xAB);
+        let same_pattern = CscMatrix::from_parts(
+            a.dim(),
+            a.col_ptr.clone(),
+            a.row_idx.clone(),
+            a.values.iter().map(|v| v * 1.5).collect(),
+        );
+        // Identical structure, different values: pattern keys agree, value
+        // keys differ.
+        assert_eq!(a.pattern_key(), same_pattern.pattern_key());
+        assert_ne!(a.value_key(), same_pattern.value_key());
+        // Identical everything: both keys agree (and are deterministic).
+        assert_eq!(a.value_key(), a.clone().value_key());
+        // A different structure moves the pattern key.
+        let other = grid_matrix(5, 6, 0xAB);
+        assert_ne!(a.pattern_key(), other.pattern_key());
+        // Accessors expose the raw CSC arrays consistently.
+        assert_eq!(a.col_ptr_slice().len(), a.dim() + 1);
+        assert_eq!(a.row_idx_slice().len(), a.nnz());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! `rlckit-server` — the batched scenario-evaluation daemon.
+//!
+//! Two modes share one engine and one wire protocol (`docs/PROTOCOL.md`):
+//!
+//! * **TCP daemon** (default): `rlckit-server --addr 127.0.0.1:7117`
+//!   accepts newline-delimited JSON connections until a `shutdown`
+//!   operation drains it.
+//! * **One-shot stdin** (`--stdin`): reads requests from standard input,
+//!   writes responses to standard output, exits at EOF. This is the mode
+//!   the CI golden-transcript gate replays (`--workers 1` for
+//!   byte-for-byte determinism).
+//!
+//! Operational knobs are documented in `docs/OPERATIONS.md`.
+
+use std::process::ExitCode;
+
+use rlckit_server::{serve_listener, Engine, ServerConfig};
+
+const USAGE: &str = "\
+rlckit-server: batched scenario-evaluation daemon
+
+USAGE:
+    rlckit-server [OPTIONS]
+
+OPTIONS:
+    --stdin                 one-shot mode: requests on stdin, responses on stdout
+    --addr HOST:PORT        TCP listen address (default 127.0.0.1:7117)
+    --workers N             evaluation threads (default 2; 1 = deterministic order)
+    --queue-depth N         maximum queued cells before backpressure (default 1024)
+    --cache-dir DIR         disk-backed result store directory (default: memory only)
+    --cache-budget BYTES    result-store byte budget (default 67108864)
+    --deadline-ms MS        default per-request deadline (default 0 = none)
+    --no-pattern-cache      disable cross-request factorization sharing
+    --help                  print this help
+";
+
+struct Cli {
+    stdin: bool,
+    addr: String,
+    config: ServerConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli =
+        Cli { stdin: false, addr: "127.0.0.1:7117".to_owned(), config: ServerConfig::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--stdin" => cli.stdin = true,
+            "--no-pattern-cache" => cli.config.pattern_cache = false,
+            "--addr" => cli.addr = value("--addr")?.to_owned(),
+            "--workers" => {
+                cli.config.workers = parse_number(value("--workers")?, "--workers")?;
+                if cli.config.workers == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+            }
+            "--queue-depth" => {
+                cli.config.queue_depth = parse_number(value("--queue-depth")?, "--queue-depth")?;
+                if cli.config.queue_depth == 0 {
+                    return Err("--queue-depth must be at least 1".to_owned());
+                }
+            }
+            "--cache-dir" => cli.config.cache_dir = Some(value("--cache-dir")?.into()),
+            "--cache-budget" => {
+                cli.config.cache_budget = parse_number(value("--cache-budget")?, "--cache-budget")?;
+            }
+            "--deadline-ms" => {
+                cli.config.default_deadline_ms =
+                    parse_number(value("--deadline-ms")?, "--deadline-ms")?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("{flag}: {raw:?} is not a valid number"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let engine = match Engine::new(cli.config) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: cannot start engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = if cli.stdin {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        engine.serve_stream(stdin.lock(), stdout.lock())
+    } else {
+        match std::net::TcpListener::bind(&cli.addr) {
+            Ok(listener) => {
+                eprintln!("rlckit-server listening on {}", cli.addr);
+                serve_listener(&engine, listener)
+            }
+            Err(e) => {
+                eprintln!("error: cannot bind {}: {e}", cli.addr);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    engine.join();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The committed golden transcript is a contract: replaying
+//! `tests/server/requests.ndjson` through a single-worker engine must
+//! reproduce `tests/server/responses.expected` **byte for byte** — any
+//! drift in validation messages, response field order, float formatting or
+//! cache provenance fails here (and in CI's server smoke gate, which
+//! replays the same transcript through the actual `rlckit-server --stdin`
+//! binary) until the transcript is deliberately re-blessed:
+//!
+//! ```text
+//! cargo run --release -p rlckit-server -- --stdin --workers 1 \
+//!     < tests/server/requests.ndjson > tests/server/responses.expected
+//! ```
+//!
+//! This file holds exactly one test: the engine's pattern cache is
+//! process-global, and a second concurrent engine in the same binary could
+//! reorder cold-vs-warm factorizations.
+
+use std::path::PathBuf;
+
+use rlckit_server::{Engine, ServerConfig};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/server")
+}
+
+#[test]
+fn golden_transcript_replays_byte_for_byte() {
+    let requests = std::fs::read_to_string(golden_dir().join("requests.ndjson"))
+        .expect("the golden request file is committed");
+    let expected = std::fs::read_to_string(golden_dir().join("responses.expected"))
+        .expect("the golden response file is committed");
+
+    // The same configuration the CI gate runs the binary with:
+    // one worker (deterministic streaming order), default caches.
+    let engine =
+        Engine::new(ServerConfig { workers: 1, ..ServerConfig::default() }).expect("engine starts");
+    let mut out = Vec::new();
+    engine.serve_stream(requests.as_bytes(), &mut out).expect("transcript serves");
+    let got = String::from_utf8(out).expect("responses are UTF-8");
+
+    // Compare line-by-line first for a readable failure, then whole-buffer
+    // to catch trailing-byte drift.
+    for (i, (g, w)) in got.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(g, w, "response line {} drifted from the blessed transcript", i + 1);
+    }
+    assert_eq!(got, expected, "transcript must match byte for byte");
+}

@@ -6,6 +6,17 @@
 //! text file whose values are stored as hexadecimal `f64` bit patterns, so a
 //! round-trip through disk is **bit-exact** — a cache hit replays the very
 //! bytes the original run produced.
+//!
+//! Two persistence shapes share that format:
+//!
+//! * [`SweepCache`] — one whole-sweep file, loaded and saved as a unit; the
+//!   shape `run_sweep_cached` uses for figure regeneration;
+//! * [`ResultStore`] — a **directory of one-record files** with an LRU byte
+//!   budget, built for long-running services (the `rlckit-server` daemon)
+//!   where results accumulate across many requests and the store must bound
+//!   its own footprint. Records are written atomically (temp file + rename)
+//!   and a truncated or corrupt record is treated as a miss and deleted,
+//!   never an error.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -139,6 +150,233 @@ impl SweepCache {
     }
 }
 
+/// Magic first line of every [`ResultStore`] record file.
+const RECORD_HEADER: &str = "rlckit-result v1";
+
+/// Default byte budget of a [`ResultStore`] (64 MiB — roughly 500k rows).
+pub const DEFAULT_STORE_BUDGET: u64 = 64 * 1024 * 1024;
+
+/// Cumulative [`ResultStore`] statistics, for service `stats` endpoints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from a stored record.
+    pub hits: u64,
+    /// Lookups with no (usable) record.
+    pub misses: u64,
+    /// Records deleted to stay within the byte budget.
+    pub evictions: u64,
+    /// Records dropped because they were truncated or corrupt.
+    pub corrupt: u64,
+}
+
+/// Per-record bookkeeping inside the [`ResultStore`] index.
+#[derive(Debug, Clone, Copy)]
+struct RecordMeta {
+    bytes: u64,
+    /// Monotonic recency stamp for LRU eviction.
+    stamp: u64,
+}
+
+/// A disk-backed, byte-budgeted result store: one hex-`f64` record file per
+/// key, least-recently-used eviction, crash-tolerant reads.
+///
+/// Unlike [`SweepCache`] (one file, loaded/saved as a unit), the store is
+/// incremental: every [`ResultStore::insert`] lands on disk immediately via
+/// a temp-file + rename, so a crash never leaves a half-written record under
+/// a live name, and a separate process observing the directory only ever
+/// sees complete records. Reads that encounter a truncated or corrupt
+/// record delete it and report a miss — the store never panics or errors on
+/// bad record contents.
+///
+/// Recency survives restarts only approximately: on open, records are
+/// stamped in sorted key order (deterministic), and real recency accrues
+/// from subsequent hits and inserts.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    budget_bytes: u64,
+    index: HashMap<u64, RecordMeta>,
+    next_stamp: u64,
+    stats: StoreStats,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store rooted at `dir` with the given
+    /// byte budget, indexing every existing `*.rec` record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] if the directory cannot be created or
+    /// scanned. Unparseable record *file names* are ignored (foreign files
+    /// are left alone); unparseable record *contents* surface lazily as
+    /// misses on first read.
+    pub fn open(dir: impl Into<PathBuf>, budget_bytes: u64) -> Result<Self, SweepError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut keyed: Vec<(u64, u64)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_suffix(".rec") else { continue };
+            let Ok(key) = u64::from_str_radix(hex, 16) else { continue };
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            keyed.push((key, bytes));
+        }
+        // Deterministic initial recency: ascending key order.
+        keyed.sort_unstable();
+        let mut index = HashMap::with_capacity(keyed.len());
+        let mut next_stamp = 0;
+        for (key, bytes) in keyed {
+            index.insert(key, RecordMeta { bytes, stamp: next_stamp });
+            next_stamp += 1;
+        }
+        let mut store = Self { dir, budget_bytes, index, next_stamp, stats: StoreStats::default() };
+        store.evict_to_budget();
+        Ok(store)
+    }
+
+    /// The record file of `key`.
+    fn record_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.rec"))
+    }
+
+    /// Looks up a stored row, returning the bit-exact values the original
+    /// insert wrote. A missing, truncated or corrupt record is a miss (a
+    /// bad record is also deleted so it cannot waste budget).
+    pub fn get(&mut self, key: u64) -> Option<Vec<f64>> {
+        if !self.index.contains_key(&key) {
+            self.stats.misses += 1;
+            return None;
+        }
+        let path = self.record_path(key);
+        match std::fs::read_to_string(&path).ok().and_then(|body| parse_record(&body)) {
+            Some(values) => {
+                let stamp = self.bump_stamp();
+                if let Some(meta) = self.index.get_mut(&key) {
+                    meta.stamp = stamp;
+                }
+                self.stats.hits += 1;
+                rlckit_telemetry::counter_add("sweep.store_hits", 1);
+                Some(values)
+            }
+            None => {
+                let _ = std::fs::remove_file(&path);
+                self.index.remove(&key);
+                self.stats.misses += 1;
+                self.stats.corrupt += 1;
+                rlckit_telemetry::counter_add("sweep.store_corrupt", 1);
+                None
+            }
+        }
+    }
+
+    /// Persists a row under `key` (atomically: temp file, then rename),
+    /// then evicts least-recently-used records until the store is within
+    /// its byte budget. The most recent insert is never evicted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Io`] if the record cannot be written.
+    pub fn insert(&mut self, key: u64, values: &[f64]) -> Result<(), SweepError> {
+        let mut body = String::with_capacity(RECORD_HEADER.len() + 1 + 17 * values.len());
+        body.push_str(RECORD_HEADER);
+        body.push('\n');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                body.push(' ');
+            }
+            body.push_str(&format!("{:016x}", v.to_bits()));
+        }
+        body.push('\n');
+        let path = self.record_path(key);
+        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        std::fs::write(&tmp, &body)?;
+        std::fs::rename(&tmp, &path)?;
+        let stamp = self.bump_stamp();
+        self.index.insert(key, RecordMeta { bytes: body.len() as u64, stamp });
+        self.evict_to_budget();
+        Ok(())
+    }
+
+    fn bump_stamp(&mut self) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        stamp
+    }
+
+    /// Deletes least-recently-used records (ties broken on the smaller key,
+    /// unreachable with monotonic stamps but kept deterministic) until the
+    /// indexed total fits the budget. At least one record is always kept.
+    fn evict_to_budget(&mut self) {
+        while self.index.len() > 1 && self.total_bytes() > self.budget_bytes {
+            let Some(victim) =
+                self.index.iter().min_by_key(|(k, m)| (m.stamp, **k)).map(|(k, _)| *k)
+            else {
+                return;
+            };
+            let _ = std::fs::remove_file(self.record_path(victim));
+            self.index.remove(&victim);
+            self.stats.evictions += 1;
+            rlckit_telemetry::counter_add("sweep.store_evictions", 1);
+        }
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Returns `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Sum of the indexed record sizes in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.values().map(|m| m.bytes).sum()
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A copy of the cumulative hit/miss/eviction statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+/// Parses one record body; `None` on any malformation (wrong header, bad
+/// hex, missing trailing newline — i.e. a truncated write).
+fn parse_record(body: &str) -> Option<Vec<f64>> {
+    let rest = body.strip_prefix(RECORD_HEADER)?.strip_prefix('\n')?;
+    let line = rest.strip_suffix('\n')?;
+    if line.contains('\n') {
+        return None;
+    }
+    if line.is_empty() {
+        return Some(Vec::new());
+    }
+    line.split(' ')
+        .map(
+            |v| {
+                if v.len() == 16 {
+                    u64::from_str_radix(v, 16).ok().map(f64::from_bits)
+                } else {
+                    None
+                }
+            },
+        )
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +428,83 @@ mod tests {
         assert!(SweepCache::load(&path).is_err());
         std::fs::write(&path, format!("{HEADER}\n00000000000000ff nope\n")).unwrap();
         assert!(SweepCache::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn store_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rlckit-store-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn result_store_round_trips_bit_exactly_and_persists() {
+        let dir = store_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let row = vec![f64::MIN_POSITIVE / 2.0, -0.0, std::f64::consts::PI, 1.0e300];
+        {
+            let mut store = ResultStore::open(&dir, DEFAULT_STORE_BUDGET).unwrap();
+            assert!(store.is_empty());
+            store.insert(42, &row).unwrap();
+            store.insert(7, &[]).unwrap();
+            let got = store.get(42).unwrap();
+            for (a, b) in got.iter().zip(row.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // A fresh handle over the same directory sees the same records.
+        let mut store = ResultStore::open(&dir, DEFAULT_STORE_BUDGET).unwrap();
+        assert_eq!(store.len(), 2);
+        let got = store.get(42).unwrap();
+        for (a, b) in got.iter().zip(row.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "reopen must preserve bits");
+        }
+        assert!(store.get(7).unwrap().is_empty());
+        assert!(store.get(1).is_none());
+        assert_eq!(store.stats().hits, 2);
+        assert_eq!(store.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn result_store_evicts_lru_under_byte_pressure() {
+        let dir = store_dir("evict");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Each record is ~90 bytes; budget for roughly two of them.
+        let mut store = ResultStore::open(&dir, 200).unwrap();
+        store.insert(1, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        store.insert(2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        // Touch key 1 so key 2 is the least recently used.
+        assert!(store.get(1).is_some());
+        store.insert(3, &[9.0, 10.0, 11.0, 12.0]).unwrap();
+        assert!(store.stats().evictions >= 1);
+        assert!(store.total_bytes() <= 200);
+        assert!(store.get(2).is_none(), "LRU record must have been evicted");
+        assert!(store.get(3).is_some(), "the newest record survives");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn result_store_treats_corruption_as_a_miss() {
+        let dir = store_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::open(&dir, DEFAULT_STORE_BUDGET).unwrap();
+        store.insert(5, &[1.5, 2.5]).unwrap();
+        let path = store.dir().join(format!("{:016x}.rec", 5u64));
+        // Truncated mid-write: no trailing newline.
+        std::fs::write(&path, format!("{RECORD_HEADER}\n3ff8000000000")).unwrap();
+        assert!(store.get(5).is_none(), "truncated record is a miss");
+        assert_eq!(store.stats().corrupt, 1);
+        assert!(!path.exists(), "corrupt record must be deleted");
+        // Wrong header entirely.
+        store.insert(6, &[1.0]).unwrap();
+        let path6 = store.dir().join(format!("{:016x}.rec", 6u64));
+        std::fs::write(&path6, "not a record\n").unwrap();
+        assert!(store.get(6).is_none());
+        // Bad hex in an otherwise well-formed record.
+        store.insert(7, &[1.0]).unwrap();
+        let path7 = store.dir().join(format!("{:016x}.rec", 7u64));
+        std::fs::write(&path7, format!("{RECORD_HEADER}\nzzzzzzzzzzzzzzzz\n")).unwrap();
+        assert!(store.get(7).is_none());
+        assert_eq!(store.stats().corrupt, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -15,8 +15,10 @@
 //! * [`exec`] — the multi-threaded chunked work-queue executor
 //!   ([`run_sweep`], [`run_sweep_cached`]) with thread-count-independent
 //!   result ordering;
-//! * [`cache`] — the content-hash result cache ([`SweepCache`]): re-runs
-//!   replay memoised cells bit-exactly and only compute changed ones;
+//! * [`cache`] — the content-hash result caches: the whole-sweep
+//!   [`SweepCache`] (re-runs replay memoised cells bit-exactly and only
+//!   compute changed ones) and the service-grade disk-backed
+//!   [`ResultStore`] with an LRU byte budget;
 //! * [`sink`] — deterministic [`CsvSink`] / [`JsonSink`] emitters;
 //! * [`figures`] — the builders behind the committed `figures/FIG_*.csv`
 //!   paper datasets and the CI drift check.
@@ -51,12 +53,12 @@ pub mod scenario;
 pub mod sink;
 pub mod spec;
 
-pub use cache::{cache_key, SweepCache};
+pub use cache::{cache_key, ResultStore, StoreStats, SweepCache};
 pub use error::SweepError;
 pub use eval::{
     BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
     MeshDelayEvaluator, ReducedDelayEvaluator, RepeaterDesignPointEvaluator,
-    RepeaterOptimumEvaluator, TreeDelayEvaluator,
+    RepeaterOptimumEvaluator, SramReadEvaluator, TreeDelayEvaluator,
 };
 pub use exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult, SweepRow};
 pub use scenario::{Param, Scenario, TechnologyNode};
@@ -69,7 +71,7 @@ pub mod prelude {
     pub use crate::eval::{
         BusCrosstalkEvaluator, BusRepeaterEvaluator, DelayModelEvaluator, Evaluator,
         MeshDelayEvaluator, ReducedDelayEvaluator, RepeaterDesignPointEvaluator,
-        RepeaterOptimumEvaluator, TreeDelayEvaluator,
+        RepeaterOptimumEvaluator, SramReadEvaluator, TreeDelayEvaluator,
     };
     pub use crate::exec::{run_sweep, run_sweep_cached, SweepOptions, SweepResult};
     pub use crate::scenario::{Param, Scenario, TechnologyNode};

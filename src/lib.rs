@@ -13,6 +13,7 @@ pub use rlckit_netlist as netlist;
 pub use rlckit_numeric as numeric;
 pub use rlckit_reduce as reduce;
 pub use rlckit_repeater as repeater;
+pub use rlckit_server as server;
 pub use rlckit_sweep as sweep;
 pub use rlckit_telemetry as telemetry;
 pub use rlckit_units as units;
